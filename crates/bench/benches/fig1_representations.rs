@@ -1,0 +1,31 @@
+//! Criterion bench for the Figure-1 experiment: ASIC mapping of the "Max"
+//! circuit in different logic representations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mch_choice::ChoiceNetwork;
+use mch_logic::{convert, NetworkKind};
+use mch_mapper::{map_asic, AsicMapParams, MappingObjective};
+use mch_techlib::asap7_lite;
+
+fn bench_fig1(c: &mut Criterion) {
+    let library = asap7_lite();
+    let max = mch_benchmarks::benchmark("max").expect("max exists");
+    let mut group = c.benchmark_group("fig1_representations");
+    group.sample_size(10);
+    for kind in [NetworkKind::Aig, NetworkKind::Xmg] {
+        let net = convert(&max, kind);
+        group.bench_function(format!("map_area_{kind}"), |b| {
+            b.iter(|| {
+                map_asic(
+                    &ChoiceNetwork::from_network(&net),
+                    &library,
+                    &AsicMapParams::new(MappingObjective::Area),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the Table-I experiment: the six ASIC flows on a
+//! representative control circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mch_core::{
+    asic_flow_baseline, asic_flow_dch, asic_flow_mch, prepare_input, MchConfig,
+};
+use mch_mapper::MappingObjective;
+use mch_techlib::asap7_lite;
+
+fn bench_table1(c: &mut Criterion) {
+    let library = asap7_lite();
+    let input = prepare_input(&mch_benchmarks::benchmark("int2float").unwrap(), 2);
+    let mut group = c.benchmark_group("table1_asic_int2float");
+    group.sample_size(10);
+    group.bench_function("baseline_nf", |b| {
+        b.iter(|| asic_flow_baseline(&input, &library, MappingObjective::Balanced))
+    });
+    group.bench_function("dch_balanced", |b| {
+        b.iter(|| asic_flow_dch(&input, &library, MappingObjective::Balanced))
+    });
+    group.bench_function("mch_balanced", |b| {
+        b.iter(|| asic_flow_mch(&input, &library, &MchConfig::balanced()))
+    });
+    group.bench_function("mch_area", |b| {
+        b.iter(|| asic_flow_mch(&input, &library, &MchConfig::area_oriented()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

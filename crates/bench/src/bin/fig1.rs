@@ -1,0 +1,11 @@
+//! Regenerates Figure 1: mapping the "Max" circuit in each representation.
+//!
+//! Run with `cargo run -p mch-bench --bin fig1 --release`.
+
+use mch_bench::printing::print_fig1;
+use mch_bench::run_fig1;
+
+fn main() {
+    let rows = run_fig1();
+    print!("{}", print_fig1(&rows));
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table I: ASIC technology mapping of the EPFL-like suite across
+//! the six flows (baseline, DCH×2, MCH×3).
+//!
+//! Run with `cargo run -p mch-bench --bin table1 --release`.
+//! Pass `--quick` to restrict the run to the smaller circuits.
+
+use mch_bench::experiments::quick_suite;
+use mch_bench::printing::print_table1;
+use mch_bench::run_table1;
+use mch_benchmarks::epfl_suite;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let suite = if quick { quick_suite() } else { epfl_suite() };
+    eprintln!(
+        "running Table I on {} benchmarks ({} mode)…",
+        suite.len(),
+        if quick { "quick" } else { "full" }
+    );
+    let rows = run_table1(&suite);
+    print!("{}", print_table1(&rows));
+}

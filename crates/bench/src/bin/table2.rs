@@ -1,0 +1,13 @@
+//! Regenerates Table II: the EPFL best-results 6-LUT challenge circuits
+//! mapped with the MCH-based area-focused LUT mapper.
+//!
+//! Run with `cargo run -p mch-bench --bin table2 --release`.
+
+use mch_bench::experiments::table2_benchmark_names;
+use mch_bench::printing::print_table2;
+use mch_bench::run_table2;
+
+fn main() {
+    let rows = run_table2(&table2_benchmark_names());
+    print!("{}", print_table2(&rows));
+}

@@ -1,0 +1,159 @@
+//! Plain-text rendering of the experiment tables (what the `src/bin/*`
+//! binaries print).
+
+use crate::experiments::{
+    table1_flow_names, table1_geomeans, table1_improvements, Fig1Row, Fig2Report, Fig6Row,
+    Table1Row, Table2Row,
+};
+use mch_core::geometric_mean;
+
+/// Renders Figure 1 as a table.
+pub fn print_fig1(rows: &[Fig1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 1: technology mapping of 'Max' per representation (ASAP7-lite)\n");
+    out.push_str(&format!(
+        "{:<6} {:>7} {:>7} | {:>14} {:>14} | {:>14} {:>14}\n",
+        "repr", "nodes", "levels", "delay-map area", "delay-map ps", "area-map area", "area-map ps"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<6} {:>7} {:>7} | {:>14.2} {:>14.2} | {:>14.2} {:>14.2}\n",
+            r.representation.to_string(),
+            r.nodes,
+            r.levels,
+            r.delay_oriented_area,
+            r.delay_oriented_delay,
+            r.area_oriented_area,
+            r.area_oriented_delay
+        ));
+    }
+    out
+}
+
+/// Renders Figure 2 as a table.
+pub fn print_fig2(report: &Fig2Report) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 2: (a+b) > 0 demo through the three flows\n");
+    out.push_str(&format!(
+        "original AIG: {} nodes, {} levels\n",
+        report.original_nodes, report.original_levels
+    ));
+    out.push_str(&format!(
+        "{:<26} {:>6} {:>8} {:>7} {:>10} {:>10}\n",
+        "flow", "nodes", "choices", "levels", "area", "delay"
+    ));
+    for r in &report.rows {
+        out.push_str(&format!(
+            "{:<26} {:>6} {:>8} {:>7} {:>10.2} {:>10.2}\n",
+            r.flow, r.nodes, r.choices, r.levels, r.area, r.delay
+        ));
+    }
+    out
+}
+
+/// Renders Table I with geometric means and improvements.
+pub fn print_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table I: ASIC technology mapping (area um^2 / delay ps / time s)\n");
+    out.push_str(&format!("{:<12}", "benchmark"));
+    for name in table1_flow_names() {
+        out.push_str(&format!(" | {:^28}", name));
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!("{:<12}", r.benchmark));
+        for (area, delay, time) in &r.flows {
+            out.push_str(&format!(" | {:>10.2} {:>9.2} {:>6.2}", area, delay, time));
+        }
+        out.push('\n');
+    }
+    let geo = table1_geomeans(rows);
+    out.push_str(&format!("{:<12}", "geomean"));
+    for (a, d, t) in &geo {
+        out.push_str(&format!(" | {:>10.2} {:>9.2} {:>6.2}", a, d, t));
+    }
+    out.push('\n');
+    let imp = table1_improvements(&geo);
+    out.push_str(&format!("{:<12}", "improvement"));
+    for (a, d) in &imp {
+        out.push_str(&format!(" | {:>9.2}% {:>8.2}% {:>6}", a, d, ""));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders Table II.
+pub fn print_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table II: best area results for the EPFL benchmarks (6-LUT)\n");
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}\n",
+        "benchmark", "best LUTs", "best lev", "MCH LUTs", "MCH lev"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10}\n",
+            r.benchmark, r.best_luts, r.best_levels, r.mch_luts, r.mch_levels
+        ));
+    }
+    out
+}
+
+/// Renders Figure 6 with the geometric-mean markers.
+pub fn print_fig6(rows: &[Fig6Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 6: MCH-based graph mapping improvements over the iterated baseline (%)\n");
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>8}\n",
+        "benchmark", "XMG nodes", "XMG levels", "LUT count", "LUT levels", "time s"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>11.2}% {:>11.2}% {:>11.2}% {:>11.2}% {:>8.2}\n",
+            r.benchmark,
+            r.graph_node_improvement,
+            r.graph_level_improvement,
+            r.lut_node_improvement,
+            r.lut_level_improvement,
+            r.seconds
+        ));
+    }
+    let geo_nodes = geometric_mean(
+        &rows
+            .iter()
+            .map(|r| (100.0 + r.graph_node_improvement).max(1.0))
+            .collect::<Vec<_>>(),
+    ) - 100.0;
+    let geo_levels = geometric_mean(
+        &rows
+            .iter()
+            .map(|r| (100.0 + r.graph_level_improvement).max(1.0))
+            .collect::<Vec<_>>(),
+    ) - 100.0;
+    out.push_str(&format!(
+        "geomean marker (graph map): level {:.2}%, node {:.2}%\n",
+        geo_levels, geo_nodes
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{run_fig2, run_table2};
+
+    #[test]
+    fn fig2_rendering_contains_flows() {
+        let text = print_fig2(&run_fig2());
+        assert!(text.contains("MCH for technology map"));
+        assert!(text.contains("traditional"));
+    }
+
+    #[test]
+    fn table2_rendering_has_header_and_rows() {
+        let rows = run_table2(&["int2float"]);
+        let text = print_table2(&rows);
+        assert!(text.contains("best LUTs"));
+        assert!(text.contains("int2float"));
+    }
+}

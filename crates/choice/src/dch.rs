@@ -1,0 +1,327 @@
+//! The DCH baseline: structural choices from technology-independent
+//! optimization snapshots.
+//!
+//! ABC's `dch` command builds a choice network by combining the original
+//! network with the results of running synthesis scripts on it, identifying
+//! functionally equivalent nodes across the versions. This module reproduces
+//! that behaviour: it takes the original network plus any number of optimized
+//! snapshots and links nodes whose simulation signatures agree (up to
+//! complement). It is the baseline MCH is compared against in Table I.
+
+use crate::choice_network::ChoiceNetwork;
+use mch_logic::{simulate_nodes, GateKind, Network, NodeId, Signal, TruthTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Number of 64-bit simulation words used for signature matching.
+const SIGNATURE_WORDS: usize = 32;
+
+/// Maximum primary-input support for the exact functional check of a tentative
+/// link; pairs whose combined support exceeds this are not linked (signature
+/// agreement alone is not a proof of equivalence).
+const MAX_LINK_SUPPORT: usize = 14;
+
+/// Computes the function of `node` over the primary inputs in `support`
+/// (given as the mapping PI node → variable index). Returns `None` when the
+/// cone reaches a PI outside `support` or grows beyond a safety bound.
+fn function_over_support(
+    network: &Network,
+    node: NodeId,
+    support: &HashMap<NodeId, usize>,
+) -> Option<TruthTable> {
+    let nvars = support.len();
+    let mut values: HashMap<NodeId, TruthTable> = HashMap::new();
+    values.insert(NodeId::CONST0, TruthTable::zeros(nvars));
+    // Collect the cone in topological (ascending id) order.
+    let mut cone: Vec<NodeId> = Vec::new();
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut stack = vec![node];
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        if network.is_input(n) {
+            let var = *support.get(&n)?;
+            values.insert(n, TruthTable::var(nvars, var));
+            continue;
+        }
+        if n.is_const() {
+            continue;
+        }
+        cone.push(n);
+        if cone.len() > 20_000 {
+            return None;
+        }
+        for f in network.node(n).fanins() {
+            stack.push(f.node());
+        }
+    }
+    cone.sort();
+    for id in cone {
+        let gate = network.node(id);
+        let mut fs = Vec::with_capacity(3);
+        for s in gate.fanins() {
+            let base = values.get(&s.node())?;
+            fs.push(if s.is_complement() { base.not() } else { base.clone() });
+        }
+        let t = match gate.kind() {
+            GateKind::And2 => fs[0].and(&fs[1]),
+            GateKind::Xor2 => fs[0].xor(&fs[1]),
+            GateKind::Maj3 => TruthTable::maj(&fs[0], &fs[1], &fs[2]),
+            _ => return None,
+        };
+        values.insert(id, t);
+    }
+    values.get(&node).cloned()
+}
+
+/// Collects the primary-input support of `node`, aborting when it exceeds
+/// `limit` inputs.
+fn pi_support(network: &Network, node: NodeId, limit: usize) -> Option<Vec<NodeId>> {
+    let mut pis: Vec<NodeId> = Vec::new();
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut stack = vec![node];
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        if network.is_input(n) {
+            pis.push(n);
+            if pis.len() > limit {
+                return None;
+            }
+            continue;
+        }
+        for f in network.node(n).fanins() {
+            stack.push(f.node());
+        }
+    }
+    pis.sort();
+    Some(pis)
+}
+
+/// Exact equivalence check of two nodes (up to the given phase) over their
+/// combined primary-input support. Returns `false` when the support is too
+/// large to check exhaustively.
+fn nodes_equivalent(network: &Network, a: NodeId, b: NodeId, phase: bool) -> bool {
+    let Some(sa) = pi_support(network, a, MAX_LINK_SUPPORT) else {
+        return false;
+    };
+    let Some(sb) = pi_support(network, b, MAX_LINK_SUPPORT) else {
+        return false;
+    };
+    let mut union: Vec<NodeId> = sa;
+    union.extend(sb);
+    union.sort();
+    union.dedup();
+    if union.len() > MAX_LINK_SUPPORT {
+        return false;
+    }
+    let support: HashMap<NodeId, usize> = union.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let Some(fa) = function_over_support(network, a, &support) else {
+        return false;
+    };
+    let Some(fb) = function_over_support(network, b, &support) else {
+        return false;
+    };
+    if phase {
+        fa == fb.not()
+    } else {
+        fa == fb
+    }
+}
+
+/// Builds a choice network from the original network and optimized snapshots.
+///
+/// Every snapshot must have the same primary-input and primary-output counts
+/// as `original`. Snapshot gates are copied into the mixed network and linked
+/// to original nodes whose randomized simulation signature matches (directly
+/// or complemented). Signature matching is the same lightweight equivalence
+/// detection used by SAT-sweeping-based choice construction, minus the final
+/// SAT proof; the experiment harness re-verifies full flows with [`mch_logic::cec`].
+///
+/// # Panics
+///
+/// Panics if a snapshot's interface differs from the original's.
+pub fn dch_from_snapshots(original: &Network, snapshots: &[Network]) -> ChoiceNetwork {
+    let mut cn = ChoiceNetwork::from_network(original);
+    for snap in snapshots {
+        add_snapshot_choices(&mut cn, snap);
+    }
+    cn
+}
+
+/// Copies an optimized `snapshot` of the same design into an existing choice
+/// network and links its nodes to the originals by simulation signature.
+///
+/// This is the building block shared by the DCH baseline and the MCH flows
+/// that mix whole restructured views (e.g. the XAG or MIG graph-mapped version
+/// of the design) into the choice network, in addition to the per-node
+/// candidates of Algorithm 2.
+///
+/// Returns the number of new choices recorded.
+///
+/// # Panics
+///
+/// Panics if the snapshot's interface differs from the choice network's.
+pub fn add_snapshot_choices(cn: &mut ChoiceNetwork, snapshot: &Network) -> usize {
+    assert_eq!(
+        snapshot.input_count(),
+        cn.network().input_count(),
+        "snapshot primary inputs must match the original"
+    );
+    assert_eq!(
+        snapshot.output_count(),
+        cn.network().output_count(),
+        "snapshot primary outputs must match the original"
+    );
+    let mut copied: Vec<NodeId> = Vec::new();
+    {
+        let mixed = cn.network_mut();
+        let mut map: Vec<Signal> = vec![Signal::CONST0; snapshot.len()];
+        for (i, &pi) in snapshot.inputs().iter().enumerate() {
+            map[pi.index()] = mixed.input(i);
+        }
+        for id in snapshot.gate_ids() {
+            let node = snapshot.node(id);
+            let f: Vec<Signal> = node
+                .fanins()
+                .iter()
+                .map(|s| map[s.node().index()].xor_complement(s.is_complement()))
+                .collect();
+            let sig = match node.kind() {
+                GateKind::And2 => mixed.and2(f[0], f[1]),
+                GateKind::Xor2 => mixed.xor2(f[0], f[1]),
+                GateKind::Maj3 => mixed.maj3(f[0], f[1], f[2]),
+                _ => unreachable!("gate_ids yields only gates"),
+            };
+            map[id.index()] = sig;
+            copied.push(sig.node());
+        }
+    }
+    link_by_signature(cn, &copied)
+}
+
+/// Canonicalizes a signature for phase-insensitive lookup: the first bit is
+/// forced to zero by complementing when necessary.
+fn canonical_signature(words: &[u64]) -> (Vec<u64>, bool) {
+    if words.first().map_or(false, |w| w & 1 == 1) {
+        (words.iter().map(|w| !w).collect(), true)
+    } else {
+        (words.to_vec(), false)
+    }
+}
+
+fn link_by_signature(cn: &mut ChoiceNetwork, candidates: &[NodeId]) -> usize {
+    if candidates.is_empty() {
+        return 0;
+    }
+    let network = cn.network();
+    let mut rng = StdRng::seed_from_u64(0xD0C0_FFEE);
+    let patterns: Vec<Vec<u64>> = (0..network.input_count())
+        .map(|_| (0..SIGNATURE_WORDS).map(|_| rng.gen()).collect())
+        .collect();
+    let values = simulate_nodes(network, &patterns);
+
+    // Index original gate nodes by canonical signature.
+    let mut index: HashMap<Vec<u64>, (NodeId, bool)> = HashMap::new();
+    for id in network.gate_ids() {
+        if !cn.is_original(id) {
+            continue;
+        }
+        let (key, phase) = canonical_signature(&values[id.index()]);
+        index.entry(key).or_insert((id, phase));
+    }
+
+    let mut links: Vec<(NodeId, Signal)> = Vec::new();
+    for &cand in candidates {
+        if cn.is_original(cand) {
+            continue;
+        }
+        let (key, cand_phase) = canonical_signature(&values[cand.index()]);
+        if let Some(&(repr, repr_phase)) = index.get(&key) {
+            links.push((repr, Signal::new(cand, repr_phase ^ cand_phase)));
+        }
+    }
+    let mut added = 0;
+    for (repr, sig) in links {
+        // The signature match is only a hypothesis; prove it exhaustively over
+        // the pair's input support before recording the choice. Pairs whose
+        // support is too wide to prove are skipped — an unproven choice could
+        // silently corrupt the mapped netlist.
+        if !nodes_equivalent(cn.network(), repr, sig.node(), sig.is_complement()) {
+            continue;
+        }
+        if cn.add_choice(repr, sig) {
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mch_logic::{cec, convert, Network, NetworkKind};
+
+    fn original() -> Network {
+        let mut n = Network::with_name(NetworkKind::Aig, "dch-test");
+        let a = n.add_inputs(3);
+        let x = n.xor(a[0], a[1]);
+        let y = n.and(x, a[2]);
+        let z = n.or(y, a[0]);
+        n.add_output(z);
+        n.add_output(y);
+        n
+    }
+
+    /// A functionally identical network with a different structure.
+    fn restructured() -> Network {
+        let mut n = Network::new(NetworkKind::Xag);
+        let a = n.add_inputs(3);
+        let x = n.xor2(a[0], a[1]);
+        let y = n.and2(x, a[2]);
+        let z = n.or(y, a[0]);
+        n.add_output(z);
+        n.add_output(y);
+        n
+    }
+
+    #[test]
+    fn snapshots_contribute_choices() {
+        let orig = original();
+        let snap = restructured();
+        assert!(cec(&orig, &snap).holds());
+        let cn = dch_from_snapshots(&orig, &[snap]);
+        assert!(cn.choice_count() > 0, "equivalent snapshot nodes should link");
+        assert!(cn.verify(16, 3).is_empty());
+        assert!(cec(&orig, &cn.network().cleanup()).holds());
+    }
+
+    #[test]
+    fn no_snapshots_means_no_choices() {
+        let orig = original();
+        let cn = dch_from_snapshots(&orig, &[]);
+        assert_eq!(cn.choice_count(), 0);
+    }
+
+    #[test]
+    fn representation_snapshot_links_across_kinds() {
+        let orig = original();
+        let mig = convert(&orig, NetworkKind::Mig);
+        let cn = dch_from_snapshots(&orig, &[mig]);
+        assert!(cn.choice_count() > 0);
+        assert!(cn.verify(16, 9).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "primary inputs must match")]
+    fn mismatched_snapshot_is_rejected() {
+        let orig = original();
+        let mut other = Network::new(NetworkKind::Aig);
+        let a = other.add_input();
+        other.add_output(a);
+        let _ = dch_from_snapshots(&orig, &[other]);
+    }
+}

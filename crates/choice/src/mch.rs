@@ -1,0 +1,434 @@
+//! Construction of mixed structural choice networks (Algorithms 1 and 2).
+
+use crate::choice_network::ChoiceNetwork;
+use crate::npn_db::NpnDatabase;
+use crate::strategies::StrategyLibrary;
+use mch_cut::{enumerate_cuts, CutParams};
+use mch_logic::{
+    critical_path_nodes, mffc, GateKind, Network, NetworkKind, NodeId, Signal, TruthTable,
+};
+use std::collections::HashSet;
+
+/// Parameters of the MCH construction (the inputs of Algorithm 1).
+#[derive(Clone, Debug)]
+pub struct MchParams {
+    /// Representations mixed in through one-to-one mapping (Alg. 1, line 1).
+    pub secondary: Vec<NetworkKind>,
+    /// Maximum cut size used to harvest candidate functions (`k`).
+    pub cut_size: usize,
+    /// Maximum number of cuts per node (`l`).
+    pub cut_limit: usize,
+    /// Maximum number of MFFC leaves considered (`K`).
+    pub mffc_max_inputs: usize,
+    /// Fraction of the depth above which outputs are considered critical (`r`).
+    pub critical_ratio: f64,
+    /// Strategies applied to critical-path nodes (level-oriented).
+    pub level_strategies: StrategyLibrary,
+    /// Strategies applied to non-critical nodes (area-oriented).
+    pub area_strategies: StrategyLibrary,
+    /// Cap on the number of choices recorded per representative.
+    pub max_candidates_per_node: usize,
+}
+
+impl MchParams {
+    /// The balanced configuration of the paper: choices are derived from the
+    /// input AIG alone, with path classification selecting the strategy.
+    pub fn balanced() -> Self {
+        MchParams {
+            secondary: vec![],
+            cut_size: 4,
+            cut_limit: 8,
+            mffc_max_inputs: 6,
+            critical_ratio: 0.8,
+            level_strategies: StrategyLibrary::level_oriented(&[NetworkKind::Aig, NetworkKind::Xag]),
+            area_strategies: StrategyLibrary::area_oriented(&[NetworkKind::Aig]),
+            max_candidates_per_node: 3,
+        }
+    }
+
+    /// The delay-oriented configuration: the input is additionally mapped
+    /// one-to-one into an XAG and the critical region is widened.
+    pub fn delay_oriented() -> Self {
+        MchParams {
+            secondary: vec![NetworkKind::Xag],
+            cut_size: 4,
+            cut_limit: 8,
+            mffc_max_inputs: 6,
+            critical_ratio: 0.5,
+            level_strategies: StrategyLibrary::level_oriented(&[NetworkKind::Xag, NetworkKind::Aig]),
+            area_strategies: StrategyLibrary::area_oriented(&[NetworkKind::Aig]),
+            max_candidates_per_node: 3,
+        }
+    }
+
+    /// The area-oriented configuration: the input is additionally mapped
+    /// one-to-one into an XMG and SOP-factored candidates dominate.
+    pub fn area_oriented() -> Self {
+        MchParams {
+            secondary: vec![NetworkKind::Xmg],
+            cut_size: 4,
+            cut_limit: 8,
+            mffc_max_inputs: 8,
+            critical_ratio: 0.9,
+            level_strategies: StrategyLibrary::level_oriented(&[NetworkKind::Xmg]),
+            area_strategies: StrategyLibrary::area_oriented(&[NetworkKind::Xmg, NetworkKind::Aig]),
+            max_candidates_per_node: 3,
+        }
+    }
+
+    /// A generic mixed configuration over the given representations, used by
+    /// the graph-mapping experiments (e.g. MIG + XMG).
+    pub fn mixed(kinds: &[NetworkKind]) -> Self {
+        MchParams {
+            secondary: kinds.to_vec(),
+            cut_size: 4,
+            cut_limit: 8,
+            mffc_max_inputs: 6,
+            critical_ratio: 0.7,
+            level_strategies: StrategyLibrary::level_oriented(kinds),
+            area_strategies: StrategyLibrary::area_oriented(kinds),
+            max_candidates_per_node: 3,
+        }
+    }
+}
+
+impl Default for MchParams {
+    fn default() -> Self {
+        MchParams::balanced()
+    }
+}
+
+/// Statistics reported by [`build_mch`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct MchStats {
+    /// Choices contributed by one-to-one mapping of secondary representations.
+    pub representation_choices: usize,
+    /// Choices contributed by level-oriented resynthesis.
+    pub level_choices: usize,
+    /// Choices contributed by area-oriented resynthesis.
+    pub area_choices: usize,
+    /// Number of nodes classified as critical.
+    pub critical_nodes: usize,
+}
+
+impl MchStats {
+    /// Total number of recorded choices.
+    pub fn total(&self) -> usize {
+        self.representation_choices + self.level_choices + self.area_choices
+    }
+}
+
+/// Emits one gate in the style of `kind` using only raw primitives (the
+/// target network is mixed, so every primitive is allowed).
+fn emit_styled(
+    net: &mut Network,
+    kind: NetworkKind,
+    gate: GateKind,
+    fanins: &[Signal],
+) -> Signal {
+    fn s_and(net: &mut Network, kind: NetworkKind, a: Signal, b: Signal) -> Signal {
+        match kind {
+            NetworkKind::Mig | NetworkKind::Xmg => net.maj3(a, b, Signal::CONST0),
+            _ => net.and2(a, b),
+        }
+    }
+    fn s_or(net: &mut Network, kind: NetworkKind, a: Signal, b: Signal) -> Signal {
+        match kind {
+            NetworkKind::Mig | NetworkKind::Xmg => net.maj3(a, b, Signal::CONST1),
+            _ => !net.and2(!a, !b),
+        }
+    }
+    fn s_xor(net: &mut Network, kind: NetworkKind, a: Signal, b: Signal) -> Signal {
+        match kind {
+            NetworkKind::Xag | NetworkKind::Xmg | NetworkKind::Mixed => net.xor2(a, b),
+            _ => {
+                let t = s_and(net, kind, a, !b);
+                let e = s_and(net, kind, !a, b);
+                s_or(net, kind, t, e)
+            }
+        }
+    }
+    fn s_maj(net: &mut Network, kind: NetworkKind, a: Signal, b: Signal, c: Signal) -> Signal {
+        match kind {
+            NetworkKind::Mig | NetworkKind::Xmg | NetworkKind::Mixed => net.maj3(a, b, c),
+            _ => {
+                let ab = s_and(net, kind, a, b);
+                let aob = s_or(net, kind, a, b);
+                let cc = s_and(net, kind, c, aob);
+                s_or(net, kind, ab, cc)
+            }
+        }
+    }
+    match gate {
+        GateKind::And2 => s_and(net, kind, fanins[0], fanins[1]),
+        GateKind::Xor2 => s_xor(net, kind, fanins[0], fanins[1]),
+        GateKind::Maj3 => s_maj(net, kind, fanins[0], fanins[1], fanins[2]),
+        _ => unreachable!("only gates are emitted"),
+    }
+}
+
+/// Computes the function of `root` over the cone bounded by `leaves`.
+///
+/// Returns `None` when a cone node depends on something that is neither a
+/// cone node nor a leaf (should not happen for MFFC cones) or when the leaf
+/// count exceeds eight variables.
+fn cone_function(
+    network: &Network,
+    cone: &[NodeId],
+    root: NodeId,
+    leaves: &[NodeId],
+) -> Option<TruthTable> {
+    if leaves.len() > 8 || leaves.is_empty() {
+        return None;
+    }
+    let n = leaves.len();
+    let mut values: std::collections::HashMap<NodeId, TruthTable> = std::collections::HashMap::new();
+    for (i, &l) in leaves.iter().enumerate() {
+        values.insert(l, TruthTable::var(n, i));
+    }
+    values.insert(NodeId::CONST0, TruthTable::zeros(n));
+    let mut sorted: Vec<NodeId> = cone.to_vec();
+    sorted.sort();
+    for id in sorted {
+        if values.contains_key(&id) {
+            continue;
+        }
+        let node = network.node(id);
+        let mut fs = Vec::with_capacity(3);
+        for s in node.fanins() {
+            let base = values.get(&s.node())?;
+            fs.push(if s.is_complement() { base.not() } else { base.clone() });
+        }
+        let t = match node.kind() {
+            GateKind::And2 => fs[0].and(&fs[1]),
+            GateKind::Xor2 => fs[0].xor(&fs[1]),
+            GateKind::Maj3 => TruthTable::maj(&fs[0], &fs[1], &fs[2]),
+            _ => return None,
+        };
+        values.insert(id, t);
+    }
+    values.get(&root).cloned()
+}
+
+/// Builds a mixed structural choice network (Algorithm 1).
+///
+/// The returned [`ChoiceNetwork`] contains the original structure as
+/// representatives; every secondary representation is mixed in node-by-node
+/// through one-to-one mapping, and the multi-strategy structural choice
+/// algorithm (Algorithm 2) adds level-oriented candidates on critical paths
+/// and area-oriented candidates elsewhere.
+pub fn build_mch(network: &Network, params: &MchParams) -> ChoiceNetwork {
+    let (cn, _) = build_mch_with_stats(network, params);
+    cn
+}
+
+/// Same as [`build_mch`] but also reports how many choices each source
+/// contributed.
+pub fn build_mch_with_stats(network: &Network, params: &MchParams) -> (ChoiceNetwork, MchStats) {
+    let mut cn = ChoiceNetwork::from_network(network);
+    let mut stats = MchStats::default();
+
+    // ------------------------------------------------------------------
+    // Line 1: one-to-one mapping into each secondary representation.
+    // ------------------------------------------------------------------
+    for &kind in &params.secondary {
+        let mut map: Vec<Signal> = vec![Signal::CONST0; network.len()];
+        for &pi in network.inputs() {
+            map[pi.index()] = pi.signal();
+        }
+        for id in network.gate_ids() {
+            let node = network.node(id);
+            let fanins: Vec<Signal> = node
+                .fanins()
+                .iter()
+                .map(|s| map[s.node().index()].xor_complement(s.is_complement()))
+                .collect();
+            let sig = emit_styled(cn.network_mut(), kind, node.kind(), &fanins);
+            map[id.index()] = sig;
+            if cn.add_choice(id, sig) {
+                stats.representation_choices += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Line 2: critical-path collection.  Line 3: cut enumeration.
+    // ------------------------------------------------------------------
+    let critical: HashSet<NodeId> = critical_path_nodes(network, params.critical_ratio);
+    stats.critical_nodes = critical.len();
+    let cuts = enumerate_cuts(
+        network,
+        &CutParams::new(params.cut_size, params.cut_limit),
+    );
+
+    // ------------------------------------------------------------------
+    // Line 4 / Algorithm 2: multi-strategy structural choices.
+    // ------------------------------------------------------------------
+    let mut db = NpnDatabase::new();
+    let gate_ids: Vec<NodeId> = network.gate_ids().collect();
+    for &id in &gate_ids {
+        let is_critical = critical.contains(&id);
+        let strategies = if is_critical {
+            &params.level_strategies
+        } else {
+            &params.area_strategies
+        };
+        if strategies.is_empty() {
+            continue;
+        }
+        let mut added = 0usize;
+
+        // Candidates from the node's cuts.
+        for cut in cuts.of(id).iter() {
+            if added >= params.max_candidates_per_node {
+                break;
+            }
+            if cut.is_trivial() || cut.size() < 3 {
+                continue;
+            }
+            let function = cut.function();
+            if function.is_const0() || function.is_const1() {
+                continue;
+            }
+            let leaves: Vec<Signal> = cut.leaves().iter().map(|l| l.signal()).collect();
+            for entry in strategies.entries() {
+                if added >= params.max_candidates_per_node {
+                    break;
+                }
+                let sig = db.emit(
+                    cn.network_mut(),
+                    function,
+                    &leaves,
+                    entry.kind,
+                    entry.strategy,
+                );
+                if cn.add_choice(id, sig) {
+                    added += 1;
+                    if is_critical {
+                        stats.level_choices += 1;
+                    } else {
+                        stats.area_choices += 1;
+                    }
+                }
+            }
+        }
+
+        // Non-critical nodes: additionally resynthesise the whole MFFC
+        // (Algorithm 2, lines 8 and 11).
+        if !is_critical && added < params.max_candidates_per_node {
+            let cone = mffc(network, id, params.mffc_max_inputs);
+            if cone.size() >= 2 && cone.leaves.len() >= 2 && cone.leaves.len() <= params.mffc_max_inputs
+            {
+                let mut leaves = cone.leaves.clone();
+                leaves.sort();
+                if let Some(function) = cone_function(network, &cone.nodes, id, &leaves) {
+                    if !function.is_const0() && !function.is_const1() {
+                        let leaf_sigs: Vec<Signal> = leaves.iter().map(|l| l.signal()).collect();
+                        for entry in params.area_strategies.entries() {
+                            if added >= params.max_candidates_per_node {
+                                break;
+                            }
+                            let sig = db.emit(
+                                cn.network_mut(),
+                                &function,
+                                &leaf_sigs,
+                                entry.kind,
+                                entry.strategy,
+                            );
+                            if cn.add_choice(id, sig) {
+                                added += 1;
+                                stats.area_choices += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (cn, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mch_logic::{cec, Network, NetworkKind};
+
+    fn sample_network() -> Network {
+        // A small arithmetic-flavoured network: 4-bit ripple adder MSB plus
+        // some control logic, deep enough for critical-path classification.
+        let mut n = Network::with_name(NetworkKind::Aig, "sample");
+        let a = n.add_inputs(4);
+        let b = n.add_inputs(4);
+        let mut carry = n.constant(false);
+        let mut sums = Vec::new();
+        for i in 0..4 {
+            let (s, c) = n.full_adder(a[i], b[i], carry);
+            sums.push(s);
+            carry = c;
+        }
+        let any = n.or_reduce(&sums);
+        n.add_output(any);
+        n.add_output(carry);
+        n
+    }
+
+    #[test]
+    fn build_mch_balanced_produces_choices() {
+        let net = sample_network();
+        let (cn, stats) = build_mch_with_stats(&net, &MchParams::balanced());
+        assert!(stats.total() > 0, "no choices were created");
+        assert_eq!(cn.choice_count(), stats.total());
+        // The mixed network is strictly larger than the original.
+        assert!(cn.network().len() > net.len());
+        // Every recorded choice is functionally consistent.
+        assert!(cn.verify(16, 11).is_empty());
+        // Outputs unchanged.
+        assert_eq!(cn.network().outputs(), net.outputs());
+    }
+
+    #[test]
+    fn secondary_representation_adds_representation_choices() {
+        let net = sample_network();
+        let (cn, stats) = build_mch_with_stats(&net, &MchParams::area_oriented());
+        assert!(stats.representation_choices > 0);
+        assert!(cn.verify(16, 5).is_empty());
+        // XMG candidates exist: the mixed network must contain majority gates.
+        let (_, _, maj) = cn.network().gate_profile();
+        assert!(maj > 0);
+    }
+
+    #[test]
+    fn delay_oriented_marks_more_critical_nodes_than_balanced() {
+        let net = sample_network();
+        let (_, balanced) = build_mch_with_stats(&net, &MchParams::balanced());
+        let (_, delay) = build_mch_with_stats(&net, &MchParams::delay_oriented());
+        assert!(delay.critical_nodes >= balanced.critical_nodes);
+    }
+
+    #[test]
+    fn choice_network_preserves_output_functions() {
+        let net = sample_network();
+        for params in [
+            MchParams::balanced(),
+            MchParams::delay_oriented(),
+            MchParams::area_oriented(),
+            MchParams::mixed(&[NetworkKind::Mig, NetworkKind::Xmg]),
+        ] {
+            let cn = build_mch(&net, &params);
+            // The mixed network read as a plain network still computes the
+            // same primary outputs (choices only *add* nodes).
+            assert!(cec(&net, &cn.network().cleanup()).holds());
+        }
+    }
+
+    #[test]
+    fn mch_stats_total_is_sum() {
+        let s = MchStats {
+            representation_choices: 2,
+            level_choices: 3,
+            area_choices: 4,
+            critical_nodes: 7,
+        };
+        assert_eq!(s.total(), 9);
+    }
+}

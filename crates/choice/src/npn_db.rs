@@ -1,0 +1,215 @@
+//! A lazily-built NPN class database of candidate structures.
+//!
+//! The paper's level-oriented strategy is driven by a "4-input NPN library":
+//! every cut function is reduced to its NPN class, the class representative is
+//! synthesised once, and the resulting structure is replayed for every
+//! occurrence with the appropriate input permutation and polarities. This
+//! database generalises that idea to every (strategy, representation) pair the
+//! MCH construction uses.
+
+use crate::strategies::{import_subnetwork, synthesize, SynthesisStrategy};
+use mch_logic::{npn_canonical, npn_semi_canonical, Network, NetworkKind, Signal, TruthTable};
+use std::collections::HashMap;
+
+/// Cache of synthesised canonical structures keyed by NPN class.
+#[derive(Clone, Debug, Default)]
+pub struct NpnDatabase {
+    cache: HashMap<(TruthTable, SynthesisStrategy, NetworkKind), Network>,
+    hits: usize,
+    misses: usize,
+}
+
+impl NpnDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        NpnDatabase::default()
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of classes synthesised so far.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Number of distinct (class, strategy, kind) entries stored.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Returns `true` if no class has been synthesised yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Emits a candidate structure computing `function` over `leaves` into
+    /// `target`, synthesising the function's NPN class representative on first
+    /// use and replaying it afterwards.
+    ///
+    /// Returns the candidate's output signal in `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves.len() != function.num_vars()`.
+    pub fn emit(
+        &mut self,
+        target: &mut Network,
+        function: &TruthTable,
+        leaves: &[Signal],
+        kind: NetworkKind,
+        strategy: SynthesisStrategy,
+    ) -> Signal {
+        assert_eq!(leaves.len(), function.num_vars(), "one leaf per variable");
+        // Degenerate cases never go through the cache.
+        if function.is_const0() {
+            return Signal::CONST0;
+        }
+        if function.is_const1() {
+            return Signal::CONST1;
+        }
+        let canon = if function.num_vars() <= 5 {
+            npn_canonical(function)
+        } else {
+            npn_semi_canonical(function)
+        };
+        let key = (canon.representative.clone(), strategy, kind);
+        if !self.cache.contains_key(&key) {
+            let net = synthesize(&canon.representative, kind, strategy);
+            self.cache.insert(key.clone(), net);
+            self.misses += 1;
+        } else {
+            self.hits += 1;
+        }
+        let canonical_net = self.cache.get(&key).expect("just inserted").clone();
+
+        // canonical(y) = f(x) ^ out  with  y_i = x_{perm[i]} ^ neg_i, therefore
+        // f(x) = canonical(y) ^ out when canonical input i is driven by
+        // leaves[perm[i]] ^ neg_i.
+        let t = &canon.transform;
+        let bound: Vec<Signal> = (0..function.num_vars())
+            .map(|i| leaves[t.perm[i]].xor_complement(t.input_neg & (1 << i) != 0))
+            .collect();
+        let out = import_subnetwork(target, &canonical_net, &bound);
+        out.xor_complement(t.output_neg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mch_logic::output_truth_tables;
+
+    fn check_emit(f: &TruthTable, kind: NetworkKind, strategy: SynthesisStrategy) {
+        let mut db = NpnDatabase::new();
+        let mut host = Network::new(NetworkKind::Mixed);
+        let leaves = host.add_inputs(f.num_vars());
+        let out = db.emit(&mut host, f, &leaves, kind, strategy);
+        host.add_output(out);
+        assert_eq!(&output_truth_tables(&host)[0], f, "{kind:?} {strategy:?}");
+    }
+
+    #[test]
+    fn emit_reproduces_function_exactly() {
+        let a = TruthTable::var(4, 0);
+        let b = TruthTable::var(4, 1);
+        let c = TruthTable::var(4, 2);
+        let d = TruthTable::var(4, 3);
+        let funcs = [
+            a.and(&b).or(&c.and(&d)).not(),
+            a.xor(&b).xor(&c).and(&d),
+            TruthTable::ite(&a, &b, &c.or(&d)),
+            TruthTable::maj(&a, &b, &c).xor(&d),
+        ];
+        for f in &funcs {
+            for kind in NetworkKind::homogeneous() {
+                check_emit(f, kind, SynthesisStrategy::Decompose);
+                check_emit(f, kind, SynthesisStrategy::SopFactor);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_three_var_emit() {
+        let mut db = NpnDatabase::new();
+        for bits in 0..256u64 {
+            let f = TruthTable::from_u64(3, bits);
+            let mut host = Network::new(NetworkKind::Mixed);
+            let leaves = host.add_inputs(3);
+            let out = db.emit(
+                &mut host,
+                &f,
+                &leaves,
+                NetworkKind::Xmg,
+                SynthesisStrategy::Decompose,
+            );
+            host.add_output(out);
+            assert_eq!(output_truth_tables(&host)[0], f, "bits={bits:#x}");
+        }
+        // 3-variable functions fall into 14 NPN classes; constants bypass the
+        // cache, so at most 13 classes are synthesised.
+        assert!(db.len() <= 13, "got {} classes", db.len());
+        assert!(db.hits() > db.misses());
+    }
+
+    #[test]
+    fn cache_is_shared_across_equivalent_functions() {
+        let mut db = NpnDatabase::new();
+        let mut host = Network::new(NetworkKind::Mixed);
+        let xs = host.add_inputs(2);
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let _ = db.emit(&mut host, &a.and(&b), &xs, NetworkKind::Aig, SynthesisStrategy::Decompose);
+        let _ = db.emit(&mut host, &a.or(&b), &xs, NetworkKind::Aig, SynthesisStrategy::Decompose);
+        let _ = db.emit(
+            &mut host,
+            &a.and(&b).not(),
+            &xs,
+            NetworkKind::Aig,
+            SynthesisStrategy::Decompose,
+        );
+        assert_eq!(db.misses(), 1);
+        assert_eq!(db.hits(), 2);
+    }
+
+    #[test]
+    fn emit_handles_wide_functions_via_semi_canonical_forms() {
+        // Functions with more than five variables take the semi-canonical
+        // path; the emitted structure must still match the function exactly.
+        let mut db = NpnDatabase::new();
+        for seed in 0..10u64 {
+            let n = 6 + (seed as usize % 2);
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(11);
+            let mut f = TruthTable::zeros(n);
+            for i in 0..f.num_bits() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                f.set_bit(i, state & 1 == 1);
+            }
+            let mut host = Network::new(NetworkKind::Mixed);
+            let leaves = host.add_inputs(n);
+            let out = db.emit(&mut host, &f, &leaves, NetworkKind::Aig, SynthesisStrategy::SopFactor);
+            host.add_output(out);
+            assert_eq!(output_truth_tables(&host)[0], f, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn constants_bypass_cache() {
+        let mut db = NpnDatabase::new();
+        let mut host = Network::new(NetworkKind::Mixed);
+        let xs = host.add_inputs(2);
+        let s = db.emit(
+            &mut host,
+            &TruthTable::ones(2),
+            &xs,
+            NetworkKind::Aig,
+            SynthesisStrategy::SopFactor,
+        );
+        assert!(s.is_const1());
+        assert!(db.is_empty());
+    }
+}

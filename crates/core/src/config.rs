@@ -1,0 +1,100 @@
+//! Flow configurations matching the paper's experiment columns.
+
+use mch_choice::MchParams;
+use mch_logic::NetworkKind;
+use mch_mapper::MappingObjective;
+
+/// Configuration of an MCH-based mapping flow.
+///
+/// The three constructors correspond to the three MCH columns of Table I:
+/// balanced (choices from the input AIG only), delay-oriented (AIG + XAG
+/// choices, widened critical region) and area-oriented (AIG + XMG choices).
+#[derive(Clone, Debug)]
+pub struct MchConfig {
+    /// Human-readable flow name used in reports.
+    pub name: String,
+    /// The mapping objective handed to the mapper.
+    pub objective: MappingObjective,
+    /// Parameters of the MCH construction (Algorithm 1).
+    pub mch: MchParams,
+    /// Rounds of the `compress2rs`-like pre-optimization applied before
+    /// building choices (the paper prepares Table-I inputs the same way).
+    pub pre_optimization_rounds: usize,
+    /// Whether the flow additionally mixes whole graph-mapped views of the
+    /// design (one per secondary representation) into the choice network, in
+    /// addition to the per-node candidates of Algorithm 2.
+    pub mix_optimized_snapshots: bool,
+}
+
+impl MchConfig {
+    /// The balanced flow of Table I ("MCH balanced").
+    pub fn balanced() -> Self {
+        MchConfig {
+            name: "MCH balanced".into(),
+            objective: MappingObjective::Balanced,
+            mch: MchParams::balanced(),
+            pre_optimization_rounds: 2,
+            mix_optimized_snapshots: true,
+        }
+    }
+
+    /// The delay-oriented flow of Table I ("MCH Delay-oriented").
+    pub fn delay_oriented() -> Self {
+        MchConfig {
+            name: "MCH Delay-oriented".into(),
+            objective: MappingObjective::Delay,
+            mch: MchParams::delay_oriented(),
+            pre_optimization_rounds: 2,
+            mix_optimized_snapshots: true,
+        }
+    }
+
+    /// The area-oriented flow of Table I ("MCH Area-oriented").
+    pub fn area_oriented() -> Self {
+        MchConfig {
+            name: "MCH Area-oriented".into(),
+            objective: MappingObjective::Area,
+            mch: MchParams::area_oriented(),
+            pre_optimization_rounds: 2,
+            mix_optimized_snapshots: true,
+        }
+    }
+
+    /// The FPGA flow of Table II: area-focused 6-LUT mapping over AIG + XMG
+    /// mixed choices, with no pre- or post-mapping optimization.
+    pub fn lut_area() -> Self {
+        MchConfig {
+            name: "MCH 6-LUT area".into(),
+            objective: MappingObjective::Area,
+            mch: MchParams::mixed(&[NetworkKind::Xmg]),
+            pre_optimization_rounds: 0,
+            mix_optimized_snapshots: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_use_expected_objectives() {
+        assert_eq!(MchConfig::balanced().objective, MappingObjective::Balanced);
+        assert_eq!(MchConfig::delay_oriented().objective, MappingObjective::Delay);
+        assert_eq!(MchConfig::area_oriented().objective, MappingObjective::Area);
+        assert_eq!(MchConfig::lut_area().objective, MappingObjective::Area);
+    }
+
+    #[test]
+    fn delay_preset_mixes_xag_and_area_preset_mixes_xmg() {
+        assert!(MchConfig::delay_oriented()
+            .mch
+            .secondary
+            .contains(&NetworkKind::Xag));
+        assert!(MchConfig::area_oriented()
+            .mch
+            .secondary
+            .contains(&NetworkKind::Xmg));
+        assert!(MchConfig::balanced().mch.secondary.is_empty());
+    }
+}

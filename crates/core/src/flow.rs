@@ -1,0 +1,246 @@
+//! End-to-end mapping flows: the baselines of Table I, the DCH comparison and
+//! the MCH-based ASIC/FPGA flows.
+
+use crate::MchConfig;
+use mch_choice::{add_snapshot_choices, build_mch, dch_from_snapshots, ChoiceNetwork};
+use mch_logic::{cec, Network};
+use mch_mapper::{
+    map_asic, map_lut, AsicMapParams, CellNetlist, LutMapParams, LutNetlist, MappingObjective,
+};
+use mch_opt::{compress2rs_like, compress_round, graph_map};
+use mch_techlib::{Library, LutLibrary};
+use std::time::Instant;
+
+/// Builds the mixed choice network for an MCH flow: the per-node candidates of
+/// Algorithm 2, optionally augmented with whole graph-mapped views of the
+/// design (one per secondary representation).
+fn build_flow_choices(network: &Network, config: &MchConfig) -> ChoiceNetwork {
+    let mut choices = build_mch(network, &config.mch);
+    if config.mix_optimized_snapshots {
+        // A restructured view in the input's own representation (this is still
+        // "based solely on the input AIG" for the balanced flow)…
+        let own_view = graph_map(network, network.kind(), config.objective);
+        add_snapshot_choices(&mut choices, &own_view);
+        // …plus one graph-mapped view per secondary representation.
+        for &kind in &config.mch.secondary {
+            let view = graph_map(network, kind, config.objective);
+            add_snapshot_choices(&mut choices, &view);
+        }
+    }
+    choices
+}
+
+/// Result of an ASIC mapping flow.
+#[derive(Clone, Debug)]
+pub struct AsicFlowResult {
+    /// Name of the flow that produced this result.
+    pub flow: String,
+    /// The mapped standard-cell netlist.
+    pub netlist: CellNetlist,
+    /// Total cell area (µm²).
+    pub area: f64,
+    /// Critical-path delay (ps).
+    pub delay: f64,
+    /// Flow runtime in seconds (choice construction + mapping).
+    pub seconds: f64,
+    /// Whether the mapped netlist was verified equivalent to the input.
+    pub verified: bool,
+}
+
+/// Result of an FPGA (K-LUT) mapping flow.
+#[derive(Clone, Debug)]
+pub struct LutFlowResult {
+    /// Name of the flow that produced this result.
+    pub flow: String,
+    /// The mapped LUT netlist.
+    pub netlist: LutNetlist,
+    /// Number of LUTs.
+    pub luts: usize,
+    /// Number of LUT levels.
+    pub levels: u32,
+    /// Flow runtime in seconds.
+    pub seconds: f64,
+    /// Whether the mapped netlist was verified equivalent to the input.
+    pub verified: bool,
+}
+
+fn finish_asic(
+    flow: impl Into<String>,
+    input: &Network,
+    netlist: CellNetlist,
+    library: &Library,
+    start: Instant,
+) -> AsicFlowResult {
+    let seconds = start.elapsed().as_secs_f64();
+    let verified = cec(input, &netlist.to_network(library)).holds();
+    AsicFlowResult {
+        flow: flow.into(),
+        area: netlist.area(library),
+        delay: netlist.delay(library),
+        netlist,
+        seconds,
+        verified,
+    }
+}
+
+fn finish_lut(
+    flow: impl Into<String>,
+    input: &Network,
+    netlist: LutNetlist,
+    start: Instant,
+) -> LutFlowResult {
+    let seconds = start.elapsed().as_secs_f64();
+    let verified = cec(input, &netlist.to_network()).holds();
+    LutFlowResult {
+        flow: flow.into(),
+        luts: netlist.lut_count(),
+        levels: netlist.level_count(),
+        netlist,
+        seconds,
+        verified,
+    }
+}
+
+/// Baseline ASIC flow: map the input network directly (no structural choices),
+/// the stand-in for ABC's `&nf` (balanced/delay) and `map -a` (area) columns.
+pub fn asic_flow_baseline(
+    network: &Network,
+    library: &Library,
+    objective: MappingObjective,
+) -> AsicFlowResult {
+    let start = Instant::now();
+    let netlist = map_asic(
+        &ChoiceNetwork::from_network(network),
+        library,
+        &AsicMapParams::new(objective),
+    );
+    let name = match objective {
+        MappingObjective::Area => "baseline map -a",
+        MappingObjective::Delay => "baseline &nf (delay)",
+        MappingObjective::Balanced => "baseline &nf",
+    };
+    finish_asic(name, network, netlist, library, start)
+}
+
+/// DCH ASIC flow: structural choices from technology-independent optimization
+/// snapshots (the `&dch -m; &nf` / `dch; map -a` columns of Table I).
+pub fn asic_flow_dch(
+    network: &Network,
+    library: &Library,
+    objective: MappingObjective,
+) -> AsicFlowResult {
+    let start = Instant::now();
+    let snap1 = compress_round(network);
+    let snap2 = compress2rs_like(&snap1, 2);
+    let choices = dch_from_snapshots(network, &[snap1, snap2]);
+    let netlist = map_asic(&choices, library, &AsicMapParams::new(objective));
+    finish_asic("DCH", network, netlist, library, start)
+}
+
+/// MCH ASIC flow: mixed structural choices evaluated by the choice-aware
+/// mapper (the "MCH balanced / Delay-oriented / Area-oriented" columns).
+pub fn asic_flow_mch(
+    network: &Network,
+    library: &Library,
+    config: &MchConfig,
+) -> AsicFlowResult {
+    let start = Instant::now();
+    let choices = build_flow_choices(network, config);
+    let netlist = map_asic(&choices, library, &AsicMapParams::new(config.objective));
+    finish_asic(config.name.clone(), network, netlist, library, start)
+}
+
+/// Baseline FPGA flow: plain K-LUT mapping of the input network.
+pub fn lut_flow_baseline(
+    network: &Network,
+    lut: &LutLibrary,
+    objective: MappingObjective,
+) -> LutFlowResult {
+    let start = Instant::now();
+    let netlist = map_lut(
+        &ChoiceNetwork::from_network(network),
+        lut,
+        &LutMapParams::new(objective),
+    );
+    finish_lut("baseline if", network, netlist, start)
+}
+
+/// MCH FPGA flow: K-LUT mapping over a mixed choice network (the Table-II
+/// configuration: AIG + XMG, area-focused, no other optimization).
+pub fn lut_flow_mch(network: &Network, lut: &LutLibrary, config: &MchConfig) -> LutFlowResult {
+    let start = Instant::now();
+    let choices = build_flow_choices(network, config);
+    let netlist = map_lut(&choices, lut, &LutMapParams::new(config.objective));
+    finish_lut(config.name.clone(), network, netlist, start)
+}
+
+/// Applies the `compress2rs`-like pre-optimization the paper uses to prepare
+/// the Table-I inputs.
+pub fn prepare_input(network: &Network, rounds: usize) -> Network {
+    if rounds == 0 {
+        network.clone()
+    } else {
+        compress2rs_like(network, rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mch_benchmarks::demo_adder_gt;
+    use mch_logic::{Network, NetworkKind};
+    use mch_techlib::asap7_lite;
+
+    fn small_circuit() -> Network {
+        let mut n = Network::with_name(NetworkKind::Aig, "flow-test");
+        let a = n.add_inputs(3);
+        let b = n.add_inputs(3);
+        let zero = n.constant(false);
+        let (sum, carry) = mch_benchmarks::words::ripple_add(&mut n, &a, &b, zero);
+        for s in sum {
+            n.add_output(s);
+        }
+        n.add_output(carry);
+        n
+    }
+
+    #[test]
+    fn all_asic_flows_verify() {
+        let net = small_circuit();
+        let lib = asap7_lite();
+        let flows = [
+            asic_flow_baseline(&net, &lib, MappingObjective::Balanced),
+            asic_flow_baseline(&net, &lib, MappingObjective::Area),
+            asic_flow_dch(&net, &lib, MappingObjective::Balanced),
+            asic_flow_mch(&net, &lib, &MchConfig::balanced()),
+            asic_flow_mch(&net, &lib, &MchConfig::delay_oriented()),
+            asic_flow_mch(&net, &lib, &MchConfig::area_oriented()),
+        ];
+        for f in &flows {
+            assert!(f.verified, "{} did not verify", f.flow);
+            assert!(f.area > 0.0);
+            assert!(f.delay > 0.0);
+        }
+    }
+
+    #[test]
+    fn lut_flows_verify_and_report_counts() {
+        let net = demo_adder_gt();
+        let lut = LutLibrary::k6();
+        let base = lut_flow_baseline(&net, &lut, MappingObjective::Area);
+        let mch = lut_flow_mch(&net, &lut, &MchConfig::lut_area());
+        assert!(base.verified && mch.verified);
+        assert!(base.luts >= 1 && mch.luts >= 1);
+        assert!(mch.luts <= base.luts, "MCH should not need more LUTs on the demo");
+    }
+
+    #[test]
+    fn prepare_input_respects_round_count() {
+        let net = small_circuit();
+        let unchanged = prepare_input(&net, 0);
+        assert_eq!(unchanged.gate_count(), net.gate_count());
+        let optimized = prepare_input(&net, 2);
+        assert!(optimized.gate_count() <= net.gate_count());
+        assert!(cec(&net, &optimized).holds());
+    }
+}

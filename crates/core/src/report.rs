@@ -1,0 +1,68 @@
+//! Reporting helpers shared by the experiment harness: per-flow metrics,
+//! geometric means and improvement percentages.
+
+/// Metrics of one (benchmark, flow) cell of an experiment table.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FlowMetrics {
+    /// Flow name (e.g. `"MCH balanced"`).
+    pub flow: String,
+    /// Benchmark name (e.g. `"adder"`).
+    pub benchmark: String,
+    /// Mapped area (µm² for ASIC, LUT count for FPGA).
+    pub area: f64,
+    /// Mapped delay (ps for ASIC, LUT levels for FPGA).
+    pub delay: f64,
+    /// Wall-clock runtime of the flow in seconds.
+    pub seconds: f64,
+}
+
+/// Geometric mean of a list of positive values (zeroes are clamped to a small
+/// epsilon so an occasional zero-delay control circuit does not collapse the
+/// mean).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values.iter().map(|v| v.max(1e-9).ln()).sum();
+    (sum / values.len() as f64).exp()
+}
+
+/// Relative improvement of `new` over `baseline`, in percent (positive means
+/// `new` is smaller/better).
+pub fn improvement_percent(baseline: f64, new: f64) -> f64 {
+    if baseline <= 0.0 {
+        return 0.0;
+    }
+    (baseline - new) / baseline * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_of_uniform_values() {
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn improvement_sign_convention() {
+        assert!((improvement_percent(200.0, 150.0) - 25.0).abs() < 1e-12);
+        assert!((improvement_percent(100.0, 120.0) + 20.0).abs() < 1e-12);
+        assert_eq!(improvement_percent(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn metrics_struct_is_plain_data() {
+        let m = FlowMetrics {
+            flow: "MCH balanced".into(),
+            benchmark: "adder".into(),
+            area: 1.0,
+            delay: 2.0,
+            seconds: 0.1,
+        };
+        assert_eq!(m.clone(), m);
+    }
+}

@@ -1,0 +1,301 @@
+//! Cut and cut-set data structures.
+
+use mch_logic::{NodeId, TruthTable};
+use std::fmt;
+
+/// A single cut: a set of leaves, the root it belongs to, and the root's
+/// function expressed over the leaves.
+///
+/// The truth table is always given for the *positive polarity* of the root
+/// node, with leaf `i` of [`Cut::leaves`] bound to truth-table variable `i`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cut {
+    root: NodeId,
+    leaves: Vec<NodeId>,
+    signature: u64,
+    function: TruthTable,
+}
+
+impl Cut {
+    /// Creates a cut from its parts. Leaves must already be sorted.
+    pub fn new(root: NodeId, leaves: Vec<NodeId>, function: TruthTable) -> Self {
+        debug_assert!(leaves.windows(2).all(|w| w[0] < w[1]), "leaves must be sorted");
+        debug_assert_eq!(function.num_vars(), leaves.len());
+        let signature = leaves.iter().fold(0u64, |acc, l| acc | 1 << (l.index() % 64));
+        Cut {
+            root,
+            leaves,
+            signature,
+            function,
+        }
+    }
+
+    /// The trivial cut `{node}` whose function is the projection of its leaf.
+    pub fn trivial(node: NodeId) -> Self {
+        Cut::new(node, vec![node], TruthTable::var(1, 0))
+    }
+
+    /// The constant cut (no leaves) rooted at the constant node.
+    pub fn constant(node: NodeId) -> Self {
+        Cut::new(node, vec![], TruthTable::zeros(0))
+    }
+
+    /// The node this cut is a cut *of*. For cuts inherited from choice nodes
+    /// this is the choice node, not the representative.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The sorted leaf nodes.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    pub fn size(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The root function over the leaves (positive polarity).
+    pub fn function(&self) -> &TruthTable {
+        &self.function
+    }
+
+    /// Returns a copy of this cut re-rooted at `root` with the function
+    /// optionally complemented (used when transferring cuts from choice nodes
+    /// to their representatives).
+    pub fn reroot(&self, root: NodeId, complement: bool) -> Cut {
+        Cut {
+            root,
+            leaves: self.leaves.clone(),
+            signature: self.signature,
+            function: if complement {
+                self.function.not()
+            } else {
+                self.function.clone()
+            },
+        }
+    }
+
+    /// Returns `true` if this cut is the trivial cut of its root.
+    pub fn is_trivial(&self) -> bool {
+        self.leaves.len() == 1 && self.leaves[0] == self.root
+    }
+
+    /// Quick signature-based subset pre-check followed by the exact test:
+    /// `true` when every leaf of `self` is also a leaf of `other`.
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.leaves.len() > other.leaves.len() {
+            return false;
+        }
+        if self.signature & !other.signature != 0 {
+            return false;
+        }
+        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+
+    /// Merges the leaf sets of two cuts, returning `None` if the union has
+    /// more than `max_size` leaves.
+    pub fn merge_leaves(a: &Cut, b: &Cut, max_size: usize) -> Option<Vec<NodeId>> {
+        let mut out = Vec::with_capacity(a.leaves.len() + b.leaves.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.leaves.len() || j < b.leaves.len() {
+            let next = match (a.leaves.get(i), b.leaves.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                    x
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    i += 1;
+                    x
+                }
+                (Some(_), Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => unreachable!(),
+            };
+            out.push(next);
+            if out.len() > max_size {
+                return None;
+            }
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for Cut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{{", self.root)?;
+        for (i, l) in self.leaves.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A bounded, dominance-filtered collection of cuts of one node.
+#[derive(Clone, Debug, Default)]
+pub struct CutSet {
+    cuts: Vec<Cut>,
+}
+
+impl CutSet {
+    /// Creates an empty cut set.
+    pub fn new() -> Self {
+        CutSet { cuts: Vec::new() }
+    }
+
+    /// The cuts, best first (insertion order after filtering and truncation).
+    pub fn iter(&self) -> impl Iterator<Item = &Cut> {
+        self.cuts.iter()
+    }
+
+    /// Number of cuts stored.
+    pub fn len(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Returns `true` if no cut is stored.
+    pub fn is_empty(&self) -> bool {
+        self.cuts.is_empty()
+    }
+
+    /// Returns the cut at `index`.
+    pub fn get(&self, index: usize) -> Option<&Cut> {
+        self.cuts.get(index)
+    }
+
+    /// Adds a cut unless it is dominated by an existing cut; removes cuts the
+    /// new one dominates. Returns `true` if the cut was inserted.
+    pub fn insert(&mut self, cut: Cut) -> bool {
+        if self.cuts.iter().any(|c| c.dominates(&cut) && c.leaves() != cut.leaves()) {
+            return false;
+        }
+        if self.cuts.iter().any(|c| c.leaves() == cut.leaves()) {
+            return false;
+        }
+        self.cuts.retain(|c| !cut.dominates(c) || c.leaves() == cut.leaves());
+        self.cuts.push(cut);
+        true
+    }
+
+    /// Appends a cut without any dominance filtering (used when inheriting
+    /// choice-node cuts, which must survive even if structurally larger).
+    pub fn push_unchecked(&mut self, cut: Cut) {
+        if self.cuts.iter().any(|c| c.leaves() == cut.leaves() && c.root() == cut.root()) {
+            return;
+        }
+        self.cuts.push(cut);
+    }
+
+    /// Sorts the cuts by `key` (ascending) and truncates to `limit`, always
+    /// keeping the trivial cut of `root` if present.
+    pub fn prioritize<K: Ord>(&mut self, limit: usize, mut key: impl FnMut(&Cut) -> K) {
+        self.cuts.sort_by_key(|c| key(c));
+        if self.cuts.len() > limit {
+            let trivial = self.cuts.iter().position(|c| c.is_trivial());
+            if let Some(pos) = trivial {
+                if pos >= limit {
+                    let t = self.cuts.remove(pos);
+                    self.cuts.truncate(limit.saturating_sub(1));
+                    self.cuts.push(t);
+                    return;
+                }
+            }
+            self.cuts.truncate(limit);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a CutSet {
+    type Item = &'a Cut;
+    type IntoIter = std::slice::Iter<'a, Cut>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cuts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn trivial_cut_shape() {
+        let c = Cut::trivial(node(5));
+        assert!(c.is_trivial());
+        assert_eq!(c.size(), 1);
+        assert_eq!(c.function().num_vars(), 1);
+    }
+
+    #[test]
+    fn domination() {
+        let small = Cut::new(node(9), vec![node(1), node(2)], TruthTable::zeros(2));
+        let big = Cut::new(node(9), vec![node(1), node(2), node(3)], TruthTable::zeros(3));
+        assert!(small.dominates(&big));
+        assert!(!big.dominates(&small));
+    }
+
+    #[test]
+    fn merge_respects_size_limit() {
+        let a = Cut::new(node(9), vec![node(1), node(2)], TruthTable::zeros(2));
+        let b = Cut::new(node(9), vec![node(2), node(3)], TruthTable::zeros(2));
+        assert_eq!(
+            Cut::merge_leaves(&a, &b, 4),
+            Some(vec![node(1), node(2), node(3)])
+        );
+        assert_eq!(Cut::merge_leaves(&a, &b, 2), None);
+    }
+
+    #[test]
+    fn cut_set_filters_dominated() {
+        let mut set = CutSet::new();
+        let big = Cut::new(node(9), vec![node(1), node(2), node(3)], TruthTable::zeros(3));
+        let small = Cut::new(node(9), vec![node(1), node(2)], TruthTable::zeros(2));
+        assert!(set.insert(big.clone()));
+        assert!(set.insert(small.clone()));
+        // The dominated bigger cut is removed.
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.get(0).unwrap().leaves(), small.leaves());
+        // Re-inserting the dominated cut is rejected.
+        assert!(!set.insert(big));
+    }
+
+    #[test]
+    fn prioritize_keeps_trivial_cut() {
+        let mut set = CutSet::new();
+        set.push_unchecked(Cut::new(node(4), vec![node(1), node(2)], TruthTable::zeros(2)));
+        set.push_unchecked(Cut::new(node(4), vec![node(1), node(3)], TruthTable::zeros(2)));
+        set.push_unchecked(Cut::trivial(node(4)));
+        set.prioritize(2, |c| c.size());
+        assert_eq!(set.len(), 2);
+        assert!(set.iter().any(|c| c.is_trivial()));
+    }
+
+    #[test]
+    fn reroot_complements_function() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let cut = Cut::new(node(7), vec![node(1), node(2)], a.and(&b));
+        let r = cut.reroot(node(9), true);
+        assert_eq!(r.root(), node(9));
+        assert_eq!(*r.function(), a.and(&b).not());
+    }
+}

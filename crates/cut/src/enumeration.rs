@@ -1,0 +1,262 @@
+//! The priority-cut enumeration algorithm.
+
+use crate::{Cut, CutSet};
+use mch_logic::{GateKind, Network, NodeId, Signal, TruthTable};
+
+/// Parameters of cut enumeration.
+///
+/// `cut_size` is the paper's `k` (maximum number of leaves), `cut_limit` the
+/// paper's `l` (maximum number of cuts stored per node).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CutParams {
+    /// Maximum number of leaves per cut (`k`).
+    pub cut_size: usize,
+    /// Maximum number of cuts kept per node (`l`).
+    pub cut_limit: usize,
+}
+
+impl CutParams {
+    /// Creates parameters with the given cut size and per-node cut limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut_size` is 0 or greater than 8, or `cut_limit` is 0.
+    pub fn new(cut_size: usize, cut_limit: usize) -> Self {
+        assert!((1..=8).contains(&cut_size), "cut size must be in 1..=8");
+        assert!(cut_limit >= 1, "at least one cut per node is required");
+        CutParams { cut_size, cut_limit }
+    }
+}
+
+impl Default for CutParams {
+    fn default() -> Self {
+        CutParams::new(6, 8)
+    }
+}
+
+/// All cut sets of a network, indexed by node.
+#[derive(Clone, Debug)]
+pub struct NetworkCuts {
+    params: CutParams,
+    sets: Vec<CutSet>,
+}
+
+impl NetworkCuts {
+    /// The cut set of `node`.
+    pub fn of(&self, node: NodeId) -> &CutSet {
+        &self.sets[node.index()]
+    }
+
+    /// Mutable access to the cut set of `node` (used by the choice-aware
+    /// mapper to transfer cuts from choice nodes, Algorithm 3 lines 2–8).
+    pub fn of_mut(&mut self, node: NodeId) -> &mut CutSet {
+        &mut self.sets[node.index()]
+    }
+
+    /// The enumeration parameters used.
+    pub fn params(&self) -> CutParams {
+        self.params
+    }
+
+    /// Total number of cuts over all nodes.
+    pub fn total_cuts(&self) -> usize {
+        self.sets.iter().map(CutSet::len).sum()
+    }
+}
+
+/// Computes the function of `root` over the merged `leaves`, given the cut
+/// functions of its fanins.
+fn compose_function(
+    kind: GateKind,
+    fanins: &[Signal],
+    fanin_cuts: &[&Cut],
+    leaves: &[NodeId],
+) -> TruthTable {
+    let nvars = leaves.len();
+    let mut tables: Vec<TruthTable> = Vec::with_capacity(fanins.len());
+    for (sig, cut) in fanins.iter().zip(fanin_cuts) {
+        // Remap the fanin's cut function onto the merged leaf ordering.
+        let placement: Vec<usize> = cut
+            .leaves()
+            .iter()
+            .map(|l| leaves.binary_search(l).expect("leaf present in merged cut"))
+            .collect();
+        let mut t = if cut.size() == 0 {
+            // Constant cut: the fanin is the constant-false node.
+            TruthTable::zeros(nvars)
+        } else {
+            cut.function().remap_vars(nvars, &placement)
+        };
+        if sig.is_complement() {
+            t = t.not();
+        }
+        tables.push(t);
+    }
+    match kind {
+        GateKind::And2 => tables[0].and(&tables[1]),
+        GateKind::Xor2 => tables[0].xor(&tables[1]),
+        GateKind::Maj3 => TruthTable::maj(&tables[0], &tables[1], &tables[2]),
+        _ => unreachable!("only gates are composed"),
+    }
+}
+
+/// Enumerates priority cuts for every node of `network`.
+///
+/// Each gate's cut set is built from the cross product of its fanins' cut
+/// sets, filtered by dominance, capped at `params.cut_limit` cuts of at most
+/// `params.cut_size` leaves, and always contains the node's trivial cut.
+/// Truth tables are computed for every stored cut.
+pub fn enumerate_cuts(network: &Network, params: &CutParams) -> NetworkCuts {
+    let mut sets: Vec<CutSet> = vec![CutSet::new(); network.len()];
+    // Constant node and primary inputs.
+    sets[0].push_unchecked(Cut::constant(NodeId::CONST0));
+    for &pi in network.inputs() {
+        sets[pi.index()].push_unchecked(Cut::trivial(pi));
+    }
+    for id in network.gate_ids() {
+        let node = network.node(id);
+        let fanins: Vec<Signal> = node.fanins().to_vec();
+        let mut set = CutSet::new();
+
+        // Cross product of fanin cut sets.
+        let fanin_sets: Vec<&CutSet> = fanins.iter().map(|s| &sets[s.node().index()]).collect();
+        match fanins.len() {
+            2 => {
+                for ca in fanin_sets[0].iter() {
+                    for cb in fanin_sets[1].iter() {
+                        if let Some(leaves) = Cut::merge_leaves(ca, cb, params.cut_size) {
+                            let f = compose_function(node.kind(), &fanins, &[ca, cb], &leaves);
+                            set.insert(Cut::new(id, leaves, f));
+                        }
+                    }
+                }
+            }
+            3 => {
+                for ca in fanin_sets[0].iter() {
+                    for cb in fanin_sets[1].iter() {
+                        let Some(ab) = Cut::merge_leaves(ca, cb, params.cut_size) else {
+                            continue;
+                        };
+                        let ab_cut = Cut::new(id, ab.clone(), TruthTable::zeros(ab.len()));
+                        for cc in fanin_sets[2].iter() {
+                            if let Some(leaves) =
+                                Cut::merge_leaves(&ab_cut, cc, params.cut_size)
+                            {
+                                let f = compose_function(
+                                    node.kind(),
+                                    &fanins,
+                                    &[ca, cb, cc],
+                                    &leaves,
+                                );
+                                set.insert(Cut::new(id, leaves, f));
+                            }
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("gates have 2 or 3 fanins"),
+        }
+
+        // Priority: smaller cuts first (a simple, robust static order).
+        set.prioritize(params.cut_limit, |c| (c.size(), c.leaves().to_vec()));
+        // The trivial cut is always available as a fallback.
+        set.push_unchecked(Cut::trivial(id));
+        sets[id.index()] = set;
+    }
+    NetworkCuts {
+        params: *params,
+        sets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mch_logic::{output_truth_tables, Network, NetworkKind};
+
+    fn adder_bit() -> (Network, Signal, Signal) {
+        let mut n = Network::new(NetworkKind::Xag);
+        let a = n.add_input();
+        let b = n.add_input();
+        let c = n.add_input();
+        let (s, co) = n.full_adder(a, b, c);
+        n.add_output(s);
+        n.add_output(co);
+        (n, s, co)
+    }
+
+    #[test]
+    fn every_gate_has_cuts_and_trivial_fallback() {
+        let (n, _, _) = adder_bit();
+        let cuts = enumerate_cuts(&n, &CutParams::default());
+        for id in n.gate_ids() {
+            let set = cuts.of(id);
+            assert!(!set.is_empty());
+            assert!(set.iter().any(|c| c.is_trivial()));
+            for c in set.iter() {
+                assert!(c.size() <= 6);
+            }
+        }
+    }
+
+    #[test]
+    fn cut_functions_match_simulation() {
+        let (n, s, co) = adder_bit();
+        let cuts = enumerate_cuts(&n, &CutParams::new(3, 16));
+        let tts = output_truth_tables(&n);
+        // Find cuts of the output drivers whose leaves are exactly the PIs.
+        let pis: Vec<NodeId> = n.inputs().to_vec();
+        for (driver, expected) in [(s, &tts[0]), (co, &tts[1])] {
+            let set = cuts.of(driver.node());
+            let full = set
+                .iter()
+                .find(|c| c.leaves() == pis.as_slice())
+                .expect("PI cut must exist for a 3-input cone");
+            let mut f = full.function().clone();
+            if driver.is_complement() {
+                f = f.not();
+            }
+            assert_eq!(&f, expected);
+        }
+    }
+
+    #[test]
+    fn cut_limit_is_respected() {
+        let mut n = Network::new(NetworkKind::Aig);
+        let xs = n.add_inputs(6);
+        let f = n.and_reduce(&xs);
+        n.add_output(f);
+        let params = CutParams::new(4, 3);
+        let cuts = enumerate_cuts(&n, &params);
+        for id in n.gate_ids() {
+            // limit + the always-present trivial cut
+            assert!(cuts.of(id).len() <= params.cut_limit + 1);
+        }
+    }
+
+    #[test]
+    fn majority_cut_function() {
+        let mut n = Network::new(NetworkKind::Mig);
+        let a = n.add_input();
+        let b = n.add_input();
+        let c = n.add_input();
+        let m = n.maj3(a, b, !c);
+        n.add_output(m);
+        let cuts = enumerate_cuts(&n, &CutParams::default());
+        let set = cuts.of(m.node());
+        let pi_cut = set
+            .iter()
+            .find(|cut| cut.size() == 3)
+            .expect("three-leaf cut exists");
+        let tts = output_truth_tables(&n);
+        assert_eq!(pi_cut.function(), &tts[0]);
+    }
+
+    #[test]
+    fn total_cuts_is_consistent() {
+        let (n, _, _) = adder_bit();
+        let cuts = enumerate_cuts(&n, &CutParams::default());
+        let sum: usize = n.node_ids().map(|id| cuts.of(id).len()).sum();
+        assert_eq!(sum, cuts.total_cuts());
+    }
+}

@@ -1,0 +1,176 @@
+//! BLIF (Berkeley Logic Interchange Format) writers.
+
+use mch_logic::{GateKind, Network, NodeId, Signal};
+use mch_mapper::{LutNetlist, NetRef};
+use std::fmt::Write as _;
+
+fn node_name(network: &Network, node: NodeId) -> String {
+    if node.is_const() {
+        "const0".to_string()
+    } else if network.is_input(node) {
+        let idx = network
+            .inputs()
+            .iter()
+            .position(|&n| n == node)
+            .expect("input is registered");
+        format!("pi{idx}")
+    } else {
+        format!("n{}", node.index())
+    }
+}
+
+/// Serialises a logic network as BLIF.
+///
+/// Every gate becomes a `.names` cover (ANDs and XORs as two-input covers,
+/// majorities as three-input covers); complemented edges are expressed in the
+/// cover rows, so the output loads into any BLIF-reading tool unchanged.
+pub fn write_blif(network: &Network) -> String {
+    let mut out = String::new();
+    let model = if network.name().is_empty() { "top" } else { network.name() };
+    let _ = writeln!(out, ".model {model}");
+    let inputs: Vec<String> = (0..network.input_count()).map(|i| format!("pi{i}")).collect();
+    let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+    let outputs: Vec<String> = (0..network.output_count()).map(|i| format!("po{i}")).collect();
+    let _ = writeln!(out, ".outputs {}", outputs.join(" "));
+    let _ = writeln!(out, ".names const0");
+
+    for id in network.gate_ids() {
+        let node = network.node(id);
+        let fanins: Vec<String> = node
+            .fanins()
+            .iter()
+            .map(|s| node_name(network, s.node()))
+            .collect();
+        let name = node_name(network, id);
+        let _ = writeln!(out, ".names {} {}", fanins.join(" "), name);
+        let phase = |s: &Signal, bit: bool| -> char {
+            let v = bit ^ s.is_complement();
+            if v {
+                '1'
+            } else {
+                '0'
+            }
+        };
+        match node.kind() {
+            GateKind::And2 => {
+                let f = node.fanins();
+                let _ = writeln!(out, "{}{} 1", phase(&f[0], true), phase(&f[1], true));
+            }
+            GateKind::Xor2 => {
+                let f = node.fanins();
+                let _ = writeln!(out, "{}{} 1", phase(&f[0], true), phase(&f[1], false));
+                let _ = writeln!(out, "{}{} 1", phase(&f[0], false), phase(&f[1], true));
+            }
+            GateKind::Maj3 => {
+                let f = node.fanins();
+                // Majority = at least two true: enumerate the four on-set cubes.
+                let _ = writeln!(out, "{}{}- 1", phase(&f[0], true), phase(&f[1], true));
+                let _ = writeln!(out, "{}-{} 1", phase(&f[0], true), phase(&f[2], true));
+                let _ = writeln!(out, "-{}{} 1", phase(&f[1], true), phase(&f[2], true));
+            }
+            _ => unreachable!("gate_ids yields only gates"),
+        }
+    }
+    for (i, o) in network.outputs().iter().enumerate() {
+        let driver = node_name(network, o.node());
+        let _ = writeln!(out, ".names {} po{}", driver, i);
+        let _ = writeln!(out, "{} 1", if o.is_complement() { '0' } else { '1' });
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+fn net_ref_name(r: &NetRef) -> String {
+    match r {
+        NetRef::Const(false) => "const0".into(),
+        NetRef::Const(true) => "const1".into(),
+        NetRef::Input(i) => format!("pi{i}"),
+        NetRef::Gate(i) => format!("lut{i}"),
+    }
+}
+
+/// Serialises a mapped K-LUT netlist as BLIF (`.names` covers carry the
+/// complete LUT truth tables).
+pub fn write_lut_blif(netlist: &LutNetlist) -> String {
+    let mut out = String::new();
+    let model = if netlist.name().is_empty() { "top" } else { netlist.name() };
+    let _ = writeln!(out, ".model {model}");
+    let inputs: Vec<String> = (0..netlist.input_count()).map(|i| format!("pi{i}")).collect();
+    let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+    let outputs: Vec<String> = (0..netlist.outputs().len()).map(|i| format!("po{i}")).collect();
+    let _ = writeln!(out, ".outputs {}", outputs.join(" "));
+    let _ = writeln!(out, ".names const0");
+    let _ = writeln!(out, ".names const1");
+    let _ = writeln!(out, "1");
+
+    for (i, lut) in netlist.luts().iter().enumerate() {
+        let fanins: Vec<String> = lut.fanins.iter().map(net_ref_name).collect();
+        let _ = writeln!(out, ".names {} lut{}", fanins.join(" "), i);
+        let k = lut.function.num_vars();
+        for minterm in 0..lut.function.num_bits() {
+            if lut.function.bit(minterm) {
+                let cube: String = (0..k)
+                    .map(|v| if minterm & (1 << v) != 0 { '1' } else { '0' })
+                    .collect();
+                let _ = writeln!(out, "{cube} 1");
+            }
+        }
+    }
+    for (i, o) in netlist.outputs().iter().enumerate() {
+        let _ = writeln!(out, ".names {} po{}", net_ref_name(o), i);
+        let _ = writeln!(out, "1 1");
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mch_choice::ChoiceNetwork;
+    use mch_logic::NetworkKind;
+    use mch_mapper::{map_lut, LutMapParams, MappingObjective};
+    use mch_techlib::LutLibrary;
+
+    fn sample() -> Network {
+        let mut n = Network::with_name(NetworkKind::Xmg, "blif_sample");
+        let a = n.add_input();
+        let b = n.add_input();
+        let c = n.add_input();
+        let m = n.maj3(a, b, !c);
+        let x = n.xor2(m, a);
+        n.add_output(x);
+        n.add_output(!m);
+        n
+    }
+
+    #[test]
+    fn network_blif_has_model_ios_and_gates() {
+        let text = write_blif(&sample());
+        assert!(text.starts_with(".model blif_sample"));
+        assert!(text.contains(".inputs pi0 pi1 pi2"));
+        assert!(text.contains(".outputs po0 po1"));
+        assert!(text.contains(".names"));
+        assert!(text.trim_end().ends_with(".end"));
+        // One cover line set per gate plus output buffers.
+        assert!(text.matches(".names").count() >= 4);
+    }
+
+    #[test]
+    fn lut_blif_lists_every_lut() {
+        let net = sample();
+        let mapped = map_lut(
+            &ChoiceNetwork::from_network(&net),
+            &LutLibrary::k6(),
+            &LutMapParams::new(MappingObjective::Area),
+        );
+        let text = write_lut_blif(&mapped);
+        assert!(text.contains(".model blif_sample"));
+        assert_eq!(
+            text.matches("lut").count() > 0,
+            true,
+            "LUT instances must be named"
+        );
+        assert!(text.trim_end().ends_with(".end"));
+    }
+}

@@ -1,0 +1,34 @@
+//! File-format support for the MCH workspace.
+//!
+//! * [`read_aiger`] / [`write_aiger`] — the ASCII AIGER (`aag`) exchange
+//!   format used by the EPFL benchmark distribution and ABC;
+//! * [`write_blif`] — BLIF output of logic networks (for consumption by other
+//!   synthesis tools);
+//! * [`write_lut_blif`] — BLIF output of mapped K-LUT netlists;
+//! * [`write_verilog`] — structural Verilog of mapped standard-cell netlists.
+//!
+//! # Example
+//!
+//! ```
+//! use mch_io::{read_aiger, write_aiger};
+//! use mch_logic::{cec, Network, NetworkKind};
+//!
+//! let mut aig = Network::new(NetworkKind::Aig);
+//! let a = aig.add_input();
+//! let b = aig.add_input();
+//! let f = aig.and2(a, b);
+//! aig.add_output(!f);
+//!
+//! let text = write_aiger(&aig);
+//! let back = read_aiger(&text)?;
+//! assert!(cec(&aig, &back).holds());
+//! # Ok::<(), mch_io::ParseAigerError>(())
+//! ```
+
+mod aiger;
+mod blif;
+mod verilog;
+
+pub use aiger::{read_aiger, write_aiger, ParseAigerError};
+pub use blif::{write_blif, write_lut_blif};
+pub use verilog::write_verilog;

@@ -1,0 +1,101 @@
+//! Structural Verilog output for mapped standard-cell netlists.
+
+use mch_mapper::{CellNetlist, NetRef};
+use mch_techlib::Library;
+use std::fmt::Write as _;
+
+fn wire_name(r: &NetRef) -> String {
+    match r {
+        NetRef::Const(false) => "1'b0".into(),
+        NetRef::Const(true) => "1'b1".into(),
+        NetRef::Input(i) => format!("pi{i}"),
+        NetRef::Gate(i) => format!("n{i}"),
+    }
+}
+
+/// Serialises a mapped standard-cell netlist as structural Verilog.
+///
+/// Each mapped gate becomes one cell instance with positional pin connections
+/// `(.A(..), .B(..), …, .Y(out))`; the module interface uses `pi<i>` / `po<i>`
+/// port names matching the BLIF writer.
+pub fn write_verilog(netlist: &CellNetlist, library: &Library) -> String {
+    let mut out = String::new();
+    let module = if netlist.name().is_empty() { "top" } else { netlist.name() };
+    let inputs: Vec<String> = (0..netlist.input_count()).map(|i| format!("pi{i}")).collect();
+    let outputs: Vec<String> = (0..netlist.output_count()).map(|i| format!("po{i}")).collect();
+    let mut ports = inputs.clone();
+    ports.extend(outputs.iter().cloned());
+    let _ = writeln!(out, "module {module} ({});", ports.join(", "));
+    if !inputs.is_empty() {
+        let _ = writeln!(out, "  input {};", inputs.join(", "));
+    }
+    if !outputs.is_empty() {
+        let _ = writeln!(out, "  output {};", outputs.join(", "));
+    }
+    if netlist.gate_count() > 0 {
+        let wires: Vec<String> = (0..netlist.gate_count()).map(|i| format!("n{i}")).collect();
+        let _ = writeln!(out, "  wire {};", wires.join(", "));
+    }
+    let pin_names = ["A", "B", "C", "D", "E", "F", "G", "H"];
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let cell = library.cell(gate.cell);
+        let mut conns: Vec<String> = gate
+            .fanins
+            .iter()
+            .enumerate()
+            .map(|(p, f)| format!(".{}({})", pin_names[p], wire_name(f)))
+            .collect();
+        conns.push(format!(".Y(n{i})"));
+        let _ = writeln!(out, "  {} g{} ({});", cell.name(), i, conns.join(", "));
+    }
+    for (i, o) in netlist.outputs().iter().enumerate() {
+        let _ = writeln!(out, "  assign po{} = {};", i, wire_name(o));
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mch_choice::ChoiceNetwork;
+    use mch_logic::{Network, NetworkKind};
+    use mch_mapper::{map_asic, AsicMapParams, MappingObjective};
+    use mch_techlib::asap7_lite;
+
+    #[test]
+    fn verilog_lists_cells_and_ports() {
+        let mut n = Network::with_name(NetworkKind::Aig, "vtest");
+        let a = n.add_input();
+        let b = n.add_input();
+        let c = n.add_input();
+        let f = n.and2(a, b);
+        let g = n.or(f, c);
+        n.add_output(g);
+        n.add_output(!f);
+        let lib = asap7_lite();
+        let mapped = map_asic(
+            &ChoiceNetwork::from_network(&n),
+            &lib,
+            &AsicMapParams::new(MappingObjective::Area),
+        );
+        let text = write_verilog(&mapped, &lib);
+        assert!(text.starts_with("module vtest"));
+        assert!(text.contains("input pi0, pi1, pi2;"));
+        assert!(text.contains("output po0, po1;"));
+        assert!(text.contains("assign po0"));
+        assert!(text.trim_end().ends_with("endmodule"));
+        // Every mapped gate appears as exactly one instance (named g<i>).
+        let instances = text.lines().filter(|l| l.contains(".Y(")).count();
+        assert_eq!(instances, mapped.gate_count());
+    }
+
+    #[test]
+    fn constant_outputs_use_literals() {
+        let lib = asap7_lite();
+        let mut nl = mch_mapper::CellNetlist::new("c", 1);
+        nl.push_output(NetRef::Const(true));
+        let text = write_verilog(&nl, &lib);
+        assert!(text.contains("assign po0 = 1'b1;"));
+    }
+}

@@ -1,0 +1,140 @@
+//! One-to-one mapping between logic representations.
+//!
+//! Converting a network re-emits every gate through the polymorphic builders
+//! of the target representation (Algorithm 1, line 1 of the paper): an AND in
+//! a MIG target becomes `MAJ(a, b, 0)`, an XOR in an AIG target becomes its
+//! three-AND decomposition, and so on. The function of every primary output is
+//! preserved exactly.
+
+use crate::{GateKind, Network, NetworkKind, Signal};
+
+/// Converts `network` into the `target` representation.
+///
+/// The conversion walks the nodes in topological order and rebuilds each gate
+/// with primitives legal in `target`. Structural hashing in the target network
+/// may merge gates, so the result can be smaller than the source.
+///
+/// # Example
+///
+/// ```
+/// use mch_logic::{convert, Network, NetworkKind, cec};
+///
+/// let mut aig = Network::new(NetworkKind::Aig);
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let c = aig.add_input();
+/// let f = aig.and2(a, b);
+/// let g = aig.and2(f, c);
+/// aig.add_output(g);
+///
+/// let mig = convert(&aig, NetworkKind::Mig);
+/// assert_eq!(mig.kind(), NetworkKind::Mig);
+/// assert!(cec(&aig, &mig).holds());
+/// ```
+pub fn convert(network: &Network, target: NetworkKind) -> Network {
+    let mut out = Network::with_name(target, network.name().to_string());
+    let mut map: Vec<Signal> = vec![Signal::CONST0; network.len()];
+    for &pi in network.inputs() {
+        map[pi.index()] = out.add_input();
+    }
+    for id in network.gate_ids() {
+        let node = network.node(id);
+        let f: Vec<Signal> = node
+            .fanins()
+            .iter()
+            .map(|s| map[s.node().index()].xor_complement(s.is_complement()))
+            .collect();
+        map[id.index()] = match node.kind() {
+            GateKind::And2 => out.and(f[0], f[1]),
+            GateKind::Xor2 => out.xor(f[0], f[1]),
+            GateKind::Maj3 => out.maj(f[0], f[1], f[2]),
+            _ => unreachable!("gate_ids yields only gates"),
+        };
+    }
+    for &o in network.outputs() {
+        let s = map[o.node().index()].xor_complement(o.is_complement());
+        out.add_output(s);
+    }
+    out
+}
+
+/// Converts a network into each of the four homogeneous representations.
+///
+/// Convenience used by the Figure-1 experiment, which maps the same circuit as
+/// AIG, XAG, MIG and XMG and compares the mapped area and delay.
+pub fn convert_to_all(network: &Network) -> Vec<Network> {
+    NetworkKind::homogeneous()
+        .into_iter()
+        .map(|k| convert(network, k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cec, Network, NetworkKind};
+
+    fn sample() -> Network {
+        let mut n = Network::new(NetworkKind::Xag);
+        let a = n.add_input();
+        let b = n.add_input();
+        let c = n.add_input();
+        let d = n.add_input();
+        let x = n.xor2(a, b);
+        let y = n.and2(c, d);
+        let z = n.and2(x, !y);
+        let w = n.xor2(z, c);
+        n.add_output(w);
+        n.add_output(!z);
+        n
+    }
+
+    #[test]
+    fn conversion_preserves_function_for_all_targets() {
+        let src = sample();
+        for target in NetworkKind::homogeneous() {
+            let converted = convert(&src, target);
+            assert_eq!(converted.kind(), target);
+            assert!(cec(&src, &converted).holds(), "mismatch for {target}");
+        }
+    }
+
+    #[test]
+    fn aig_target_contains_only_ands() {
+        let aig = convert(&sample(), NetworkKind::Aig);
+        let (_, xor, maj) = aig.gate_profile();
+        assert_eq!(xor, 0);
+        assert_eq!(maj, 0);
+    }
+
+    #[test]
+    fn mig_target_contains_only_majorities() {
+        let mig = convert(&sample(), NetworkKind::Mig);
+        let (and, xor, _) = mig.gate_profile();
+        assert_eq!(and, 0);
+        assert_eq!(xor, 0);
+    }
+
+    #[test]
+    fn xmg_keeps_xors_native() {
+        let xmg = convert(&sample(), NetworkKind::Xmg);
+        let (and, xor, _) = xmg.gate_profile();
+        assert_eq!(and, 0);
+        assert!(xor >= 1);
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let src = sample();
+        let mig = convert(&src, NetworkKind::Mig);
+        let back = convert(&mig, NetworkKind::Xag);
+        assert!(cec(&src, &back).holds());
+    }
+
+    #[test]
+    fn convert_to_all_yields_four_networks() {
+        let all = convert_to_all(&sample());
+        assert_eq!(all.len(), 4);
+        assert!(all.iter().all(|n| cec(n, &sample()).holds()));
+    }
+}

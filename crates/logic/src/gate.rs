@@ -1,0 +1,223 @@
+//! Gate primitives and node storage for the supported logic representations.
+
+use crate::Signal;
+use std::fmt;
+
+/// The primitive Boolean function computed by a node.
+///
+/// The four heterogeneous representations used by the MCH paper are all built
+/// from these primitives:
+///
+/// * **AIG** — [`GateKind::And2`] only,
+/// * **XAG** — [`GateKind::And2`] + [`GateKind::Xor2`],
+/// * **MIG** — [`GateKind::Maj3`] only (AND/OR are majorities with a constant),
+/// * **XMG** — [`GateKind::Maj3`] + [`GateKind::Xor2`],
+/// * **mixed choice networks** — any of the above side by side.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum GateKind {
+    /// The constant-false node (node 0 of every network).
+    Const,
+    /// A primary input.
+    Input,
+    /// Two-input AND.
+    And2,
+    /// Two-input XOR.
+    Xor2,
+    /// Three-input majority.
+    Maj3,
+}
+
+impl GateKind {
+    /// Number of fanins a node of this kind carries.
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Const | GateKind::Input => 0,
+            GateKind::And2 | GateKind::Xor2 => 2,
+            GateKind::Maj3 => 3,
+        }
+    }
+
+    /// Returns `true` for kinds that represent a logic gate (not PI/constant).
+    pub fn is_gate(self) -> bool {
+        matches!(self, GateKind::And2 | GateKind::Xor2 | GateKind::Maj3)
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Const => "const0",
+            GateKind::Input => "input",
+            GateKind::And2 => "and",
+            GateKind::Xor2 => "xor",
+            GateKind::Maj3 => "maj",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The logic representation a network is declared to use.
+///
+/// The declared kind restricts which primitives the polymorphic builders in
+/// [`crate::Network`] may emit; [`NetworkKind::Mixed`] allows every primitive
+/// and is the representation used by choice networks.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum NetworkKind {
+    /// And-Inverter Graph.
+    #[default]
+    Aig,
+    /// Xor-And Graph.
+    Xag,
+    /// Majority-Inverter Graph.
+    Mig,
+    /// Xor-Majority Graph.
+    Xmg,
+    /// Heterogeneous network mixing all primitives (used for choice networks).
+    Mixed,
+}
+
+impl NetworkKind {
+    /// Returns `true` if nodes of `gate` may appear in networks of this kind.
+    pub fn allows(self, gate: GateKind) -> bool {
+        match gate {
+            GateKind::Const | GateKind::Input => true,
+            GateKind::And2 => matches!(
+                self,
+                NetworkKind::Aig | NetworkKind::Xag | NetworkKind::Mixed
+            ),
+            GateKind::Xor2 => matches!(
+                self,
+                NetworkKind::Xag | NetworkKind::Xmg | NetworkKind::Mixed
+            ),
+            GateKind::Maj3 => matches!(
+                self,
+                NetworkKind::Mig | NetworkKind::Xmg | NetworkKind::Mixed
+            ),
+        }
+    }
+
+    /// All concrete (non-mixed) representations.
+    pub fn homogeneous() -> [NetworkKind; 4] {
+        [
+            NetworkKind::Aig,
+            NetworkKind::Xag,
+            NetworkKind::Mig,
+            NetworkKind::Xmg,
+        ]
+    }
+}
+
+impl fmt::Display for NetworkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NetworkKind::Aig => "AIG",
+            NetworkKind::Xag => "XAG",
+            NetworkKind::Mig => "MIG",
+            NetworkKind::Xmg => "XMG",
+            NetworkKind::Mixed => "Mixed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single node of a [`crate::Network`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Node {
+    kind: GateKind,
+    fanins: [Signal; 3],
+    level: u32,
+    fanout_count: u32,
+}
+
+impl Node {
+    pub(crate) fn new(kind: GateKind, fanins: [Signal; 3], level: u32) -> Self {
+        Node {
+            kind,
+            fanins,
+            level,
+            fanout_count: 0,
+        }
+    }
+
+    /// The primitive computed by this node.
+    #[inline]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The fanin signals, in normalized order (`arity()` of them are valid).
+    #[inline]
+    pub fn fanins(&self) -> &[Signal] {
+        &self.fanins[..self.kind.arity()]
+    }
+
+    /// Logic level (distance from the primary inputs).
+    #[inline]
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Number of network nodes and primary outputs referencing this node.
+    #[inline]
+    pub fn fanout_count(&self) -> u32 {
+        self.fanout_count
+    }
+
+    /// Returns `true` for AND/XOR/MAJ nodes.
+    #[inline]
+    pub fn is_gate(&self) -> bool {
+        self.kind.is_gate()
+    }
+
+    /// Returns `true` for primary-input nodes.
+    #[inline]
+    pub fn is_input(&self) -> bool {
+        self.kind == GateKind::Input
+    }
+
+    pub(crate) fn bump_fanout(&mut self) {
+        self.fanout_count += 1;
+    }
+
+    pub(crate) fn drop_fanout(&mut self) {
+        debug_assert!(self.fanout_count > 0);
+        self.fanout_count -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_kind() {
+        assert_eq!(GateKind::Const.arity(), 0);
+        assert_eq!(GateKind::Input.arity(), 0);
+        assert_eq!(GateKind::And2.arity(), 2);
+        assert_eq!(GateKind::Xor2.arity(), 2);
+        assert_eq!(GateKind::Maj3.arity(), 3);
+    }
+
+    #[test]
+    fn kind_permissions() {
+        assert!(NetworkKind::Aig.allows(GateKind::And2));
+        assert!(!NetworkKind::Aig.allows(GateKind::Xor2));
+        assert!(!NetworkKind::Aig.allows(GateKind::Maj3));
+        assert!(NetworkKind::Xag.allows(GateKind::Xor2));
+        assert!(NetworkKind::Mig.allows(GateKind::Maj3));
+        assert!(!NetworkKind::Mig.allows(GateKind::And2));
+        assert!(NetworkKind::Xmg.allows(GateKind::Xor2));
+        assert!(NetworkKind::Xmg.allows(GateKind::Maj3));
+        for g in [GateKind::And2, GateKind::Xor2, GateKind::Maj3] {
+            assert!(NetworkKind::Mixed.allows(g));
+        }
+    }
+
+    #[test]
+    fn every_kind_allows_structural_nodes() {
+        for k in NetworkKind::homogeneous() {
+            assert!(k.allows(GateKind::Const));
+            assert!(k.allows(GateKind::Input));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Multi-representation logic networks for the MCH reproduction.
+//!
+//! This crate provides the substrate every other crate builds on:
+//!
+//! * [`Network`] — an append-only, structurally hashed DAG supporting AND,
+//!   XOR and MAJ primitives, covering AIG, XAG, MIG, XMG and mixed networks;
+//! * [`TruthTable`] and NPN classification ([`npn_canonical`]);
+//! * traversal helpers (fanouts, TFI/TFO, [`mffc`], [`critical_path_nodes`]);
+//! * word-parallel simulation and equivalence checking ([`cec`]);
+//! * one-to-one conversion between representations ([`convert`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mch_logic::{cec, convert, Network, NetworkKind};
+//!
+//! // Build a 2-bit comparator as an AIG…
+//! let mut aig = Network::new(NetworkKind::Aig);
+//! let a = aig.add_inputs(2);
+//! let b = aig.add_inputs(2);
+//! let hi = aig.and(a[1], !b[1]);
+//! let eq_hi = aig.xnor(a[1], b[1]);
+//! let lo = aig.and(a[0], !b[0]);
+//! let lo_win = aig.and(eq_hi, lo);
+//! let gt = aig.or(hi, lo_win);
+//! aig.add_output(gt);
+//!
+//! // …and view the very same function as an XMG.
+//! let xmg = convert(&aig, NetworkKind::Xmg);
+//! assert!(cec(&aig, &xmg).holds());
+//! ```
+
+mod convert;
+mod gate;
+mod network;
+mod npn;
+mod signal;
+mod simulate;
+mod stats;
+mod traversal;
+mod truth;
+
+pub use convert::{convert, convert_to_all};
+pub use gate::{GateKind, NetworkKind, Node};
+pub use network::Network;
+pub use npn::{npn_apply_inverse, npn_canonical, npn_semi_canonical, NpnCanonical, NpnTransform};
+pub use signal::{NodeId, Signal};
+pub use simulate::{
+    cec, equivalent_exhaustive, equivalent_random, output_truth_tables, simulate, simulate_nodes, Equivalence,
+};
+pub use stats::NetworkStats;
+pub use traversal::{
+    critical_path_nodes, mffc, transitive_fanin, transitive_fanout, Fanouts, Mffc,
+};
+pub use truth::TruthTable;

@@ -1,0 +1,213 @@
+//! Node identifiers and complemented edges ("signals").
+//!
+//! The representation follows the AIGER / ABC literal convention: a [`Signal`]
+//! packs a [`NodeId`] together with a complementation bit in a single `u32`,
+//! so edges of the directed acyclic graph are cheap to copy and compare.
+
+use std::fmt;
+
+/// Index of a node inside a [`crate::Network`].
+///
+/// Node `0` is always the constant-false node; primary inputs and gates follow
+/// in creation order. Because gates are only ever appended after their fanins,
+/// ascending node-id order is a valid topological order.
+///
+/// # Example
+///
+/// ```
+/// use mch_logic::NodeId;
+/// let n = NodeId::from_index(3);
+/// assert_eq!(n.index(), 3);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The constant-false node present in every network.
+    pub const CONST0: NodeId = NodeId(0);
+
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// Returns the raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this is the constant-false node.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the positive-polarity signal pointing at this node.
+    #[inline]
+    pub fn signal(self) -> Signal {
+        Signal::new(self, false)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A possibly-complemented edge pointing at a node.
+///
+/// Internally encoded as `node_index << 1 | complement`, mirroring the AIGER
+/// literal encoding. [`Signal::CONST0`] and [`Signal::CONST1`] are the two
+/// polarities of node 0.
+///
+/// # Example
+///
+/// ```
+/// use mch_logic::{NodeId, Signal};
+/// let s = Signal::new(NodeId::from_index(5), true);
+/// assert_eq!(s.node().index(), 5);
+/// assert!(s.is_complement());
+/// assert_eq!((!s).node().index(), 5);
+/// assert!(!(!s).is_complement());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Signal(u32);
+
+impl Signal {
+    /// The constant-false signal.
+    pub const CONST0: Signal = Signal(0);
+    /// The constant-true signal.
+    pub const CONST1: Signal = Signal(1);
+
+    /// Creates a signal from a node and a complement flag.
+    #[inline]
+    pub fn new(node: NodeId, complement: bool) -> Self {
+        Signal(node.0 << 1 | complement as u32)
+    }
+
+    /// Creates a signal from its raw literal encoding (`index * 2 + compl`).
+    #[inline]
+    pub fn from_literal(literal: u32) -> Self {
+        Signal(literal)
+    }
+
+    /// Returns the raw literal encoding.
+    #[inline]
+    pub fn literal(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the node this signal points at.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Returns `true` if the edge is complemented.
+    #[inline]
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the same signal with the complement bit cleared.
+    #[inline]
+    pub fn abs(self) -> Signal {
+        Signal(self.0 & !1)
+    }
+
+    /// Returns this signal complemented iff `complement` is true.
+    #[inline]
+    pub fn xor_complement(self, complement: bool) -> Signal {
+        Signal(self.0 ^ complement as u32)
+    }
+
+    /// Returns `true` if this signal is one of the two constants.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.node().is_const()
+    }
+
+    /// Returns `true` if this is exactly the constant-false signal.
+    #[inline]
+    pub fn is_const0(self) -> bool {
+        self == Signal::CONST0
+    }
+
+    /// Returns `true` if this is exactly the constant-true signal.
+    #[inline]
+    pub fn is_const1(self) -> bool {
+        self == Signal::CONST1
+    }
+}
+
+impl std::ops::Not for Signal {
+    type Output = Signal;
+
+    #[inline]
+    fn not(self) -> Signal {
+        Signal(self.0 ^ 1)
+    }
+}
+
+impl From<NodeId> for Signal {
+    fn from(node: NodeId) -> Signal {
+        node.signal()
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complement() {
+            write!(f, "!{}", self.node())
+        } else {
+            write!(f, "{}", self.node())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_node_zero() {
+        assert_eq!(Signal::CONST0.node(), NodeId::CONST0);
+        assert_eq!(Signal::CONST1.node(), NodeId::CONST0);
+        assert!(!Signal::CONST0.is_complement());
+        assert!(Signal::CONST1.is_complement());
+        assert!(Signal::CONST0.is_const0());
+        assert!(Signal::CONST1.is_const1());
+    }
+
+    #[test]
+    fn complement_round_trip() {
+        let s = Signal::new(NodeId::from_index(7), false);
+        assert_eq!(!!s, s);
+        assert_ne!(!s, s);
+        assert_eq!((!s).abs(), s.abs());
+    }
+
+    #[test]
+    fn literal_encoding_matches_aiger() {
+        let s = Signal::new(NodeId::from_index(4), true);
+        assert_eq!(s.literal(), 9);
+        assert_eq!(Signal::from_literal(9), s);
+    }
+
+    #[test]
+    fn xor_complement_flag() {
+        let s = Signal::new(NodeId::from_index(2), false);
+        assert_eq!(s.xor_complement(true), !s);
+        assert_eq!(s.xor_complement(false), s);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Signal::new(NodeId::from_index(3), true);
+        assert_eq!(format!("{s}"), "!n3");
+        assert_eq!(format!("{}", !s), "n3");
+    }
+}

@@ -1,0 +1,519 @@
+//! Dynamic truth tables for small Boolean functions.
+//!
+//! [`TruthTable`] stores the function of up to 16 variables as a packed bit
+//! vector of `u64` words. Tables are used for cut functions, Boolean matching
+//! against library cells, NPN classification and the resynthesis strategies of
+//! the MCH operator.
+
+use std::fmt;
+
+const MAX_VARS: usize = 16;
+
+/// A complete truth table over `num_vars` input variables.
+///
+/// Bit `i` stores the function value for the input assignment whose binary
+/// encoding is `i` (variable 0 is the least-significant input). For fewer than
+/// six variables only the low `2^num_vars` bits of the single word are used;
+/// unused bits are always kept at zero so tables can be compared directly.
+///
+/// # Example
+///
+/// ```
+/// use mch_logic::TruthTable;
+///
+/// let a = TruthTable::var(2, 0);
+/// let b = TruthTable::var(2, 1);
+/// let and = a.and(&b);
+/// assert_eq!(and.count_ones(), 1);
+/// assert!(and.bit(3));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TruthTable {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+fn words_for(num_vars: usize) -> usize {
+    if num_vars <= 6 {
+        1
+    } else {
+        1 << (num_vars - 6)
+    }
+}
+
+fn mask_for(num_vars: usize) -> u64 {
+    if num_vars >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1 << num_vars)) - 1
+    }
+}
+
+impl TruthTable {
+    /// The constant-false function over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 16`.
+    pub fn zeros(num_vars: usize) -> Self {
+        assert!(num_vars <= MAX_VARS, "at most {MAX_VARS} variables supported");
+        TruthTable {
+            num_vars,
+            words: vec![0; words_for(num_vars)],
+        }
+    }
+
+    /// The constant-true function over `num_vars` variables.
+    pub fn ones(num_vars: usize) -> Self {
+        let mut t = TruthTable::zeros(num_vars);
+        for w in &mut t.words {
+            *w = u64::MAX;
+        }
+        t.mask();
+        t
+    }
+
+    /// The constant function of the given value.
+    pub fn constant(num_vars: usize, value: bool) -> Self {
+        if value {
+            TruthTable::ones(num_vars)
+        } else {
+            TruthTable::zeros(num_vars)
+        }
+    }
+
+    /// The projection function of variable `var` over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars` or `num_vars > 16`.
+    pub fn var(num_vars: usize, var: usize) -> Self {
+        assert!(var < num_vars, "variable index out of range");
+        let mut t = TruthTable::zeros(num_vars);
+        if var < 6 {
+            let pattern = match var {
+                0 => 0xAAAA_AAAA_AAAA_AAAA,
+                1 => 0xCCCC_CCCC_CCCC_CCCC,
+                2 => 0xF0F0_F0F0_F0F0_F0F0,
+                3 => 0xFF00_FF00_FF00_FF00,
+                4 => 0xFFFF_0000_FFFF_0000,
+                _ => 0xFFFF_FFFF_0000_0000,
+            };
+            for w in &mut t.words {
+                *w = pattern;
+            }
+        } else {
+            let period = 1usize << (var - 6);
+            for (i, w) in t.words.iter_mut().enumerate() {
+                if (i / period) % 2 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        t.mask();
+        t
+    }
+
+    /// Builds a table from raw words (low bit of word 0 is minterm 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of words does not match `num_vars`.
+    pub fn from_words(num_vars: usize, words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), words_for(num_vars), "wrong number of words");
+        let mut t = TruthTable { num_vars, words };
+        t.mask();
+        t
+    }
+
+    /// Builds a table over `num_vars <= 6` variables from a single word.
+    pub fn from_u64(num_vars: usize, bits: u64) -> Self {
+        assert!(num_vars <= 6, "from_u64 supports at most 6 variables");
+        let mut t = TruthTable {
+            num_vars,
+            words: vec![bits],
+        };
+        t.mask();
+        t
+    }
+
+    /// Returns the single-word value of a table with at most six variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has more than six variables.
+    pub fn as_u64(&self) -> u64 {
+        assert!(self.num_vars <= 6, "as_u64 requires at most 6 variables");
+        self.words[0]
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of minterms (`2^num_vars`).
+    pub fn num_bits(&self) -> usize {
+        1 << self.num_vars
+    }
+
+    /// The raw words backing this table.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn mask(&mut self) {
+        let m = mask_for(self.num_vars);
+        if self.num_vars < 6 {
+            self.words[0] &= m;
+        }
+    }
+
+    /// Value of the function for the minterm `index`.
+    pub fn bit(&self, index: usize) -> bool {
+        (self.words[index >> 6] >> (index & 63)) & 1 == 1
+    }
+
+    /// Sets the value of the function for the minterm `index`.
+    pub fn set_bit(&mut self, index: usize, value: bool) {
+        if value {
+            self.words[index >> 6] |= 1u64 << (index & 63);
+        } else {
+            self.words[index >> 6] &= !(1u64 << (index & 63));
+        }
+    }
+
+    /// Number of minterms where the function is true.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Returns `true` if the function is constant false.
+    pub fn is_const0(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if the function is constant true.
+    pub fn is_const1(&self) -> bool {
+        self.count_ones() as usize == self.num_bits()
+    }
+
+    /// Bitwise AND of two tables over the same variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables have different numbers of variables.
+    pub fn and(&self, other: &TruthTable) -> TruthTable {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR of two tables over the same variables.
+    pub fn or(&self, other: &TruthTable) -> TruthTable {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR of two tables over the same variables.
+    pub fn xor(&self, other: &TruthTable) -> TruthTable {
+        self.zip(other, |a, b| a ^ b)
+    }
+
+    /// Complement of the function.
+    pub fn not(&self) -> TruthTable {
+        let mut t = TruthTable {
+            num_vars: self.num_vars,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        t.mask();
+        t
+    }
+
+    /// Three-input majority of three tables over the same variables.
+    pub fn maj(a: &TruthTable, b: &TruthTable, c: &TruthTable) -> TruthTable {
+        let ab = a.and(b);
+        let ac = a.and(c);
+        let bc = b.and(c);
+        ab.or(&ac).or(&bc)
+    }
+
+    /// If-then-else of three tables over the same variables.
+    pub fn ite(cond: &TruthTable, then: &TruthTable, els: &TruthTable) -> TruthTable {
+        cond.and(then).or(&cond.not().and(els))
+    }
+
+    fn zip(&self, other: &TruthTable, op: impl Fn(u64, u64) -> u64) -> TruthTable {
+        assert_eq!(self.num_vars, other.num_vars, "variable count mismatch");
+        let mut t = TruthTable {
+            num_vars: self.num_vars,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| op(a, b))
+                .collect(),
+        };
+        t.mask();
+        t
+    }
+
+    /// Negative cofactor with respect to `var` (result keeps `num_vars` vars).
+    pub fn cofactor0(&self, var: usize) -> TruthTable {
+        let mut t = self.clone();
+        for i in 0..self.num_bits() {
+            if i & (1 << var) != 0 {
+                t.set_bit(i, self.bit(i & !(1 << var)));
+            }
+        }
+        t
+    }
+
+    /// Positive cofactor with respect to `var` (result keeps `num_vars` vars).
+    pub fn cofactor1(&self, var: usize) -> TruthTable {
+        let mut t = self.clone();
+        for i in 0..self.num_bits() {
+            if i & (1 << var) == 0 {
+                t.set_bit(i, self.bit(i | (1 << var)));
+            }
+        }
+        t
+    }
+
+    /// Returns `true` if the function does not depend on `var`.
+    pub fn is_independent_of(&self, var: usize) -> bool {
+        self.cofactor0(var) == self.cofactor1(var)
+    }
+
+    /// The set of variables the function actually depends on.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.num_vars)
+            .filter(|&v| !self.is_independent_of(v))
+            .collect()
+    }
+
+    /// Shrinks the table onto its support, returning the reduced table and the
+    /// support variables (in ascending order) it now ranges over.
+    pub fn shrink_to_support(&self) -> (TruthTable, Vec<usize>) {
+        let support = self.support();
+        let mut t = TruthTable::zeros(support.len());
+        for i in 0..t.num_bits() {
+            let mut full = 0usize;
+            for (new, &old) in support.iter().enumerate() {
+                if i & (1 << new) != 0 {
+                    full |= 1 << old;
+                }
+            }
+            t.set_bit(i, self.bit(full));
+        }
+        (t, support)
+    }
+
+    /// Re-expresses the table over `new_num_vars` variables, mapping old
+    /// variable `i` onto new variable `placement[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a placement index is out of range or duplicated.
+    pub fn remap_vars(&self, new_num_vars: usize, placement: &[usize]) -> TruthTable {
+        assert_eq!(placement.len(), self.num_vars);
+        let mut seen = vec![false; new_num_vars];
+        for &p in placement {
+            assert!(p < new_num_vars, "placement out of range");
+            assert!(!seen[p], "duplicate placement");
+            seen[p] = true;
+        }
+        let mut t = TruthTable::zeros(new_num_vars);
+        for i in 0..t.num_bits() {
+            let mut old = 0usize;
+            for (ov, &nv) in placement.iter().enumerate() {
+                if i & (1 << nv) != 0 {
+                    old |= 1 << ov;
+                }
+            }
+            t.set_bit(i, self.bit(old));
+        }
+        t
+    }
+
+    /// Permutes the input variables: new variable `i` reads old variable
+    /// `perm[i]`.
+    pub fn permute(&self, perm: &[usize]) -> TruthTable {
+        assert_eq!(perm.len(), self.num_vars);
+        let mut t = TruthTable::zeros(self.num_vars);
+        for i in 0..self.num_bits() {
+            let mut old = 0usize;
+            for (new_var, &old_var) in perm.iter().enumerate() {
+                if i & (1 << new_var) != 0 {
+                    old |= 1 << old_var;
+                }
+            }
+            t.set_bit(i, self.bit(old));
+        }
+        t
+    }
+
+    /// Complements input variable `var`.
+    pub fn flip_var(&self, var: usize) -> TruthTable {
+        let mut t = TruthTable::zeros(self.num_vars);
+        for i in 0..self.num_bits() {
+            t.set_bit(i, self.bit(i ^ (1 << var)));
+        }
+        t
+    }
+
+    /// Applies an input negation mask (bit `i` set means input `i` is
+    /// complemented) and optionally complements the output.
+    pub fn transform(&self, perm: &[usize], input_neg: u32, output_neg: bool) -> TruthTable {
+        let mut t = self.permute(perm);
+        for v in 0..self.num_vars {
+            if input_neg & (1 << v) != 0 {
+                t = t.flip_var(v);
+            }
+        }
+        if output_neg {
+            t = t.not();
+        }
+        t
+    }
+
+    /// Hexadecimal rendering (most-significant minterm first).
+    pub fn to_hex(&self) -> String {
+        let digits = (self.num_bits().max(4)) / 4;
+        let mut s = String::with_capacity(digits);
+        for d in (0..digits).rev() {
+            let mut nibble = 0u8;
+            for b in 0..4 {
+                let idx = d * 4 + b;
+                if idx < self.num_bits() && self.bit(idx) {
+                    nibble |= 1 << b;
+                }
+            }
+            s.push(char::from_digit(nibble as u32, 16).expect("nibble < 16"));
+        }
+        s
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} vars, 0x{})", self.num_vars, self.to_hex())
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projections_have_expected_patterns() {
+        let a = TruthTable::var(3, 0);
+        assert_eq!(a.as_u64(), 0xAA);
+        let b = TruthTable::var(3, 1);
+        assert_eq!(b.as_u64(), 0xCC);
+        let c = TruthTable::var(3, 2);
+        assert_eq!(c.as_u64(), 0xF0);
+    }
+
+    #[test]
+    fn basic_boolean_algebra() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        assert_eq!(a.and(&b).as_u64(), 0x8);
+        assert_eq!(a.or(&b).as_u64(), 0xE);
+        assert_eq!(a.xor(&b).as_u64(), 0x6);
+        assert_eq!(a.not().as_u64(), 0x5);
+    }
+
+    #[test]
+    fn majority_of_projections() {
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        let m = TruthTable::maj(&a, &b, &c);
+        assert_eq!(m.as_u64(), 0xE8);
+    }
+
+    #[test]
+    fn constants_and_counting() {
+        assert!(TruthTable::zeros(4).is_const0());
+        assert!(TruthTable::ones(4).is_const1());
+        assert_eq!(TruthTable::ones(4).count_ones(), 16);
+        assert_eq!(TruthTable::var(4, 2).count_ones(), 8);
+    }
+
+    #[test]
+    fn cofactors_and_support() {
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let f = a.and(&b);
+        assert!(f.is_independent_of(2));
+        assert_eq!(f.support(), vec![0, 1]);
+        assert_eq!(f.cofactor1(0), b);
+        assert!(f.cofactor0(0).is_const0());
+    }
+
+    #[test]
+    fn shrink_to_support_reduces_vars() {
+        let a = TruthTable::var(4, 1);
+        let c = TruthTable::var(4, 3);
+        let f = a.xor(&c);
+        let (g, support) = f.shrink_to_support();
+        assert_eq!(support, vec![1, 3]);
+        assert_eq!(g.num_vars(), 2);
+        assert_eq!(g.as_u64(), 0x6);
+    }
+
+    #[test]
+    fn permute_and_flip() {
+        let a = TruthTable::var(2, 0);
+        let permuted = a.permute(&[1, 0]);
+        assert_eq!(permuted, TruthTable::var(2, 1));
+        let flipped = a.flip_var(0);
+        assert_eq!(flipped, a.not());
+    }
+
+    #[test]
+    fn remap_extends_variable_count() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let f = a.and(&b);
+        let g = f.remap_vars(4, &[0, 3]);
+        let a4 = TruthTable::var(4, 0);
+        let b4 = TruthTable::var(4, 3);
+        assert_eq!(g, a4.and(&b4));
+    }
+
+    #[test]
+    fn large_tables_work() {
+        let f = TruthTable::var(8, 7);
+        assert_eq!(f.count_ones(), 128);
+        assert_eq!(f.words().len(), 4);
+        let g = f.xor(&TruthTable::var(8, 0));
+        assert_eq!(g.count_ones(), 128);
+    }
+
+    #[test]
+    fn hex_round_trip_display() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        assert_eq!(a.and(&b).to_hex(), "8");
+        assert_eq!(TruthTable::var(3, 2).to_hex(), "f0");
+    }
+
+    #[test]
+    fn ite_matches_mux_semantics() {
+        let s = TruthTable::var(3, 0);
+        let t = TruthTable::var(3, 1);
+        let e = TruthTable::var(3, 2);
+        let f = TruthTable::ite(&s, &t, &e);
+        for i in 0..8 {
+            let sel = i & 1 != 0;
+            let expect = if sel { (i >> 1) & 1 != 0 } else { (i >> 2) & 1 != 0 };
+            assert_eq!(f.bit(i), expect);
+        }
+    }
+}

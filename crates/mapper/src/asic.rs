@@ -1,0 +1,467 @@
+//! Cut-based ASIC technology mapping with Boolean matching and choice-network
+//! support (Algorithm 3 instantiated for standard cells).
+
+use crate::mapping::{prepare_cuts, MappingObjective};
+use crate::netlist::{CellNetlist, NetRef};
+use mch_choice::ChoiceNetwork;
+use mch_logic::{NodeId, Signal};
+use mch_techlib::{CellId, Library};
+use std::collections::HashMap;
+
+/// Parameters of ASIC mapping.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct AsicMapParams {
+    /// Mapping objective (delay / balanced / area).
+    pub objective: MappingObjective,
+    /// Maximum number of cuts per node considered for matching.
+    pub cut_limit: usize,
+    /// Number of area-recovery passes after the delay-oriented pass.
+    pub area_rounds: usize,
+}
+
+impl AsicMapParams {
+    /// Creates parameters for the given objective with default knobs.
+    pub fn new(objective: MappingObjective) -> Self {
+        AsicMapParams {
+            objective,
+            cut_limit: 8,
+            area_rounds: 2,
+        }
+    }
+}
+
+impl Default for AsicMapParams {
+    fn default() -> Self {
+        AsicMapParams::new(MappingObjective::Balanced)
+    }
+}
+
+/// One concrete way of covering a node: a cut reduced to its support, matched
+/// onto a library cell, with the inverters the match requires.
+#[derive(Clone, Debug)]
+struct MatchCandidate {
+    leaves: Vec<NodeId>,
+    cell: CellId,
+    pin_perm: Vec<usize>,
+    input_neg: u32,
+    output_neg: bool,
+    area: f64,
+    cell_delay: f64,
+    output_extra: f64,
+}
+
+impl MatchCandidate {
+    fn arrival(&self, arrivals: &[f64], inverter_delay: f64) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (i, l) in self.leaves.iter().enumerate() {
+            let extra = if self.input_neg & (1 << i) != 0 {
+                inverter_delay
+            } else {
+                0.0
+            };
+            worst = worst.max(arrivals[l.index()] + extra);
+        }
+        worst + self.cell_delay + self.output_extra
+    }
+
+    fn area_flow(&self, flows: &[f64], refs: &[f64]) -> f64 {
+        let mut acc = self.area;
+        for l in &self.leaves {
+            acc += flows[l.index()] / refs[l.index()].max(1.0);
+        }
+        acc
+    }
+}
+
+/// Maps a choice network onto standard cells.
+///
+/// The mapper follows the classical priority-cut flow: a delay-oriented pass
+/// establishes arrival times, `area_rounds` area-flow passes recover area
+/// under the required times derived from the objective, and the final cover is
+/// extracted from the primary outputs. Choice-node cuts are transferred to
+/// their representatives beforehand, so heterogeneous candidate structures are
+/// evaluated with the same technology costs as the original structure.
+///
+/// # Panics
+///
+/// Panics if some node function cannot be matched by the library (the bundled
+/// [`mch_techlib::asap7_lite`] library always matches the 2- and 3-input
+/// primitive functions, so this only happens with deliberately crippled
+/// libraries).
+pub fn map_asic(
+    choice: &ChoiceNetwork,
+    library: &Library,
+    params: &AsicMapParams,
+) -> CellNetlist {
+    let net = choice.network();
+    let cut_size = library.max_inputs().clamp(3, 6);
+    let cuts = prepare_cuts(choice, cut_size, params.cut_limit);
+    let inv_delay = library.inverter_delay();
+    let inv_area = library.inverter_area();
+
+    // ------------------------------------------------------------------
+    // Candidate matches per original node.
+    // ------------------------------------------------------------------
+    let original_gates: Vec<NodeId> = net
+        .gate_ids()
+        .filter(|id| choice.is_original(*id))
+        .collect();
+    let mut candidates: Vec<Vec<MatchCandidate>> = vec![Vec::new(); net.len()];
+    for &id in &original_gates {
+        let mut cands = Vec::new();
+        for cut in cuts.of(id).iter() {
+            if cut.is_trivial() {
+                continue;
+            }
+            let (reduced, support) = cut.function().shrink_to_support();
+            if reduced.num_vars() == 0 {
+                continue;
+            }
+            let leaves: Vec<NodeId> = support.iter().map(|&i| cut.leaves()[i]).collect();
+            let matches = library.matches(&reduced);
+            if matches.is_empty() {
+                continue;
+            }
+            // Keep the best-area and best-delay match of this cut.
+            let mut best_area: Option<&mch_techlib::CellMatch> = None;
+            let mut best_delay: Option<&mch_techlib::CellMatch> = None;
+            for m in matches {
+                let area = library.cell(m.cell()).area() + m.inverter_count() as f64 * inv_area;
+                let delay = library.cell(m.cell()).delay()
+                    + if m.inverter_count() > 0 { inv_delay } else { 0.0 };
+                if best_area.map_or(true, |b| {
+                    area < library.cell(b.cell()).area() + b.inverter_count() as f64 * inv_area
+                }) {
+                    best_area = Some(m);
+                }
+                if best_delay.map_or(true, |b| {
+                    delay
+                        < library.cell(b.cell()).delay()
+                            + if b.inverter_count() > 0 { inv_delay } else { 0.0 }
+                }) {
+                    best_delay = Some(m);
+                }
+            }
+            for m in [best_area, best_delay].into_iter().flatten() {
+                let cand = MatchCandidate {
+                    leaves: leaves.clone(),
+                    cell: m.cell(),
+                    pin_perm: m.perm().to_vec(),
+                    input_neg: m.input_neg(),
+                    output_neg: m.output_neg(),
+                    area: library.cell(m.cell()).area()
+                        + m.inverter_count() as f64 * inv_area,
+                    cell_delay: library.cell(m.cell()).delay(),
+                    output_extra: if m.output_neg() { inv_delay } else { 0.0 },
+                };
+                // Avoid exact duplicates.
+                if !cands.iter().any(|c: &MatchCandidate| {
+                    c.cell == cand.cell && c.leaves == cand.leaves && c.input_neg == cand.input_neg
+                }) {
+                    cands.push(cand);
+                }
+            }
+        }
+        assert!(
+            !cands.is_empty(),
+            "node {id} has no matchable cut; the library cannot cover this network"
+        );
+        candidates[id.index()] = cands;
+    }
+
+    // ------------------------------------------------------------------
+    // Fanout reference estimates over the original structure.
+    // ------------------------------------------------------------------
+    let mut refs = vec![0.0f64; net.len()];
+    for &id in &original_gates {
+        for f in net.node(id).fanins() {
+            refs[f.node().index()] += 1.0;
+        }
+    }
+    for o in net.outputs() {
+        refs[o.node().index()] += 1.0;
+    }
+
+    // ------------------------------------------------------------------
+    // Pass 1: delay-oriented selection.
+    // ------------------------------------------------------------------
+    let mut arrival = vec![0.0f64; net.len()];
+    let mut flow = vec![0.0f64; net.len()];
+    let mut best: Vec<usize> = vec![usize::MAX; net.len()];
+    for &id in &original_gates {
+        let cands = &candidates[id.index()];
+        let mut chosen = 0;
+        let mut chosen_key = (f64::INFINITY, f64::INFINITY);
+        for (i, c) in cands.iter().enumerate() {
+            let arr = c.arrival(&arrival, inv_delay);
+            let af = c.area_flow(&flow, &refs);
+            if (arr, af) < chosen_key {
+                chosen_key = (arr, af);
+                chosen = i;
+            }
+        }
+        best[id.index()] = chosen;
+        arrival[id.index()] = chosen_key.0;
+        flow[id.index()] = cands[chosen].area_flow(&flow, &refs) / refs[id.index()].max(1.0);
+    }
+    let delay_target = net
+        .outputs()
+        .iter()
+        .map(|o| arrival[o.node().index()])
+        .fold(0.0, f64::max);
+
+    // ------------------------------------------------------------------
+    // Passes 2..: area recovery under required times.
+    // ------------------------------------------------------------------
+    for _round in 0..params.area_rounds {
+        let mut required = vec![f64::INFINITY; net.len()];
+        if params.objective != MappingObjective::Area {
+            for o in net.outputs() {
+                let idx = o.node().index();
+                required[idx] = required[idx].min(delay_target);
+            }
+            for &id in original_gates.iter().rev() {
+                let r = required[id.index()];
+                if !r.is_finite() {
+                    continue;
+                }
+                let c = &candidates[id.index()][best[id.index()]];
+                for (i, l) in c.leaves.iter().enumerate() {
+                    let extra = if c.input_neg & (1 << i) != 0 { inv_delay } else { 0.0 };
+                    let slack = r - c.cell_delay - c.output_extra - extra;
+                    required[l.index()] = required[l.index()].min(slack);
+                }
+            }
+        }
+        for &id in &original_gates {
+            let cands = &candidates[id.index()];
+            let node_required = required[id.index()];
+            let strict_delay = params.objective == MappingObjective::Delay;
+            let min_arrival = cands
+                .iter()
+                .map(|c| c.arrival(&arrival, inv_delay))
+                .fold(f64::INFINITY, f64::min);
+            let mut chosen = best[id.index()];
+            let mut chosen_key = (f64::INFINITY, f64::INFINITY);
+            for (i, c) in cands.iter().enumerate() {
+                let arr = c.arrival(&arrival, inv_delay);
+                let feasible = if strict_delay {
+                    arr <= min_arrival + 1e-9
+                } else {
+                    arr <= node_required + 1e-9 || !node_required.is_finite()
+                };
+                if !feasible {
+                    continue;
+                }
+                let af = c.area_flow(&flow, &refs);
+                if (af, arr) < chosen_key {
+                    chosen_key = (af, arr);
+                    chosen = i;
+                }
+            }
+            best[id.index()] = chosen;
+            let c = &cands[chosen];
+            arrival[id.index()] = c.arrival(&arrival, inv_delay);
+            flow[id.index()] = c.area_flow(&flow, &refs) / refs[id.index()].max(1.0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cover extraction.
+    // ------------------------------------------------------------------
+    let mut needed = vec![false; net.len()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for o in net.outputs() {
+        if net.is_gate(o.node()) {
+            stack.push(o.node());
+        }
+    }
+    while let Some(id) = stack.pop() {
+        if needed[id.index()] {
+            continue;
+        }
+        needed[id.index()] = true;
+        let c = &candidates[id.index()][best[id.index()]];
+        for l in &c.leaves {
+            if net.is_gate(*l) && !needed[l.index()] {
+                stack.push(*l);
+            }
+        }
+    }
+
+    let mut netlist = CellNetlist::new(net.name().to_string(), net.input_count());
+    let input_pos: HashMap<NodeId, usize> = net
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i))
+        .collect();
+    let mut node_ref: HashMap<NodeId, NetRef> = HashMap::new();
+    let mut inverted: HashMap<NodeId, NetRef> = HashMap::new();
+    let inverter = library.inverter();
+
+    // Helper closure replaced by explicit functions to satisfy the borrow checker.
+    fn base_ref(
+        node: NodeId,
+        input_pos: &HashMap<NodeId, usize>,
+        node_ref: &HashMap<NodeId, NetRef>,
+    ) -> NetRef {
+        if node.is_const() {
+            NetRef::Const(false)
+        } else if let Some(&i) = input_pos.get(&node) {
+            NetRef::Input(i)
+        } else {
+            *node_ref.get(&node).expect("leaf mapped before use")
+        }
+    }
+
+    for &id in &original_gates {
+        if !needed[id.index()] {
+            continue;
+        }
+        let c = &candidates[id.index()][best[id.index()]];
+        let mut pin_fanins = vec![NetRef::Const(false); c.leaves.len()];
+        for (i, l) in c.leaves.iter().enumerate() {
+            let mut r = base_ref(*l, &input_pos, &node_ref);
+            if c.input_neg & (1 << i) != 0 {
+                r = match r {
+                    NetRef::Const(v) => NetRef::Const(!v),
+                    other => *inverted
+                        .entry(*l)
+                        .or_insert_with(|| netlist.push_gate(inverter, vec![other])),
+                };
+            }
+            pin_fanins[c.pin_perm[i]] = r;
+        }
+        let mut out = netlist.push_gate(c.cell, pin_fanins);
+        if c.output_neg {
+            out = netlist.push_gate(inverter, vec![out]);
+        }
+        node_ref.insert(id, out);
+    }
+
+    for o in net.outputs() {
+        let node = o.node();
+        let mut r = if node.is_const() {
+            NetRef::Const(false)
+        } else if let Some(&i) = input_pos.get(&node) {
+            NetRef::Input(i)
+        } else {
+            *node_ref.get(&node).expect("output driver mapped")
+        };
+        if o.is_complement() {
+            r = match r {
+                NetRef::Const(v) => NetRef::Const(!v),
+                other => *inverted
+                    .entry(node)
+                    .or_insert_with(|| netlist.push_gate(inverter, vec![other])),
+            };
+        }
+        netlist.push_output(r);
+    }
+    netlist
+}
+
+/// Convenience: maps a plain network (no choices) onto standard cells.
+pub fn map_asic_network(
+    network: &mch_logic::Network,
+    library: &Library,
+    params: &AsicMapParams,
+) -> CellNetlist {
+    map_asic(&ChoiceNetwork::from_network(network), library, params)
+}
+
+/// Returns `true` if the signal is complemented; helper kept for symmetry with
+/// future multi-phase mapping extensions.
+#[allow(dead_code)]
+fn is_neg(s: Signal) -> bool {
+    s.is_complement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mch_choice::{build_mch, MchParams};
+    use mch_logic::{cec, Network, NetworkKind};
+    use mch_techlib::asap7_lite;
+
+    fn adder4() -> Network {
+        let mut n = Network::with_name(NetworkKind::Aig, "adder4");
+        let a = n.add_inputs(4);
+        let b = n.add_inputs(4);
+        let mut carry = n.constant(false);
+        for i in 0..4 {
+            let (s, c) = n.full_adder(a[i], b[i], carry);
+            n.add_output(s);
+            carry = c;
+        }
+        n.add_output(carry);
+        n
+    }
+
+    #[test]
+    fn mapping_preserves_function() {
+        let net = adder4();
+        let lib = asap7_lite();
+        let mapped = map_asic_network(&net, &lib, &AsicMapParams::default());
+        assert!(mapped.gate_count() > 0);
+        let back = mapped.to_network(&lib);
+        assert!(cec(&net, &back).holds(), "mapped netlist is not equivalent");
+    }
+
+    #[test]
+    fn area_objective_is_not_larger_than_delay_objective_area() {
+        let net = adder4();
+        let lib = asap7_lite();
+        let delay = map_asic_network(&net, &lib, &AsicMapParams::new(MappingObjective::Delay));
+        let area = map_asic_network(&net, &lib, &AsicMapParams::new(MappingObjective::Area));
+        assert!(area.area(&lib) <= delay.area(&lib) + 1e-9);
+        assert!(delay.delay(&lib) <= area.delay(&lib) + 1e-9);
+    }
+
+    #[test]
+    fn choices_do_not_hurt_and_stay_equivalent() {
+        let net = adder4();
+        let lib = asap7_lite();
+        let params = AsicMapParams::default();
+        let baseline = map_asic_network(&net, &lib, &params);
+        let mch = build_mch(&net, &MchParams::area_oriented());
+        let with_choices = map_asic(&mch, &lib, &params);
+        let back = with_choices.to_network(&lib);
+        assert!(cec(&net, &back).holds());
+        // The choice-aware mapping should not be worse on both metrics at once.
+        let worse_area = with_choices.area(&lib) > baseline.area(&lib) + 1e-9;
+        let worse_delay = with_choices.delay(&lib) > baseline.delay(&lib) + 1e-9;
+        assert!(
+            !(worse_area && worse_delay),
+            "choices made both area and delay worse"
+        );
+    }
+
+    #[test]
+    fn complemented_and_constant_outputs() {
+        let mut n = Network::new(NetworkKind::Aig);
+        let a = n.add_input();
+        let b = n.add_input();
+        let f = n.and2(a, b);
+        n.add_output(!f);
+        n.add_output(n.constant(true));
+        n.add_output(!a);
+        let lib = asap7_lite();
+        let mapped = map_asic_network(&n, &lib, &AsicMapParams::default());
+        assert!(cec(&n, &mapped.to_network(&lib)).holds());
+    }
+
+    #[test]
+    fn xmg_network_maps_correctly() {
+        let mut n = Network::new(NetworkKind::Xmg);
+        let xs = n.add_inputs(5);
+        let m = n.maj3(xs[0], xs[1], xs[2]);
+        let x = n.xor2(m, xs[3]);
+        let y = n.maj3(x, xs[4], !xs[0]);
+        n.add_output(y);
+        let lib = asap7_lite();
+        let mapped = map_asic_network(&n, &lib, &AsicMapParams::default());
+        assert!(cec(&n, &mapped.to_network(&lib)).holds());
+    }
+}

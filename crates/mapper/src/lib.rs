@@ -1,0 +1,42 @@
+//! Cut-based technology mappers (ASIC standard cells and FPGA K-LUTs) with
+//! structural-choice support.
+//!
+//! Both mappers accept a [`mch_choice::ChoiceNetwork`]; a plain network is the
+//! degenerate case with zero choices (see [`map_asic_network`] /
+//! [`map_lut_network`]). Choice-node cuts are transferred to their
+//! representative nodes before the dynamic-programming passes (Algorithm 3 of
+//! the MCH paper), so heterogeneous candidate structures are evaluated with
+//! real technology costs.
+//!
+//! # Example
+//!
+//! ```
+//! use mch_logic::{Network, NetworkKind};
+//! use mch_mapper::{map_asic_network, map_lut_network, AsicMapParams, LutMapParams};
+//! use mch_techlib::{asap7_lite, LutLibrary};
+//!
+//! let mut aig = Network::new(NetworkKind::Aig);
+//! let a = aig.add_input();
+//! let b = aig.add_input();
+//! let c = aig.add_input();
+//! let f = aig.and2(a, b);
+//! let g = aig.or(f, c);
+//! aig.add_output(g);
+//!
+//! let lib = asap7_lite();
+//! let asic = map_asic_network(&aig, &lib, &AsicMapParams::default());
+//! assert!(asic.area(&lib) > 0.0);
+//!
+//! let fpga = map_lut_network(&aig, &LutLibrary::k6(), &LutMapParams::default());
+//! assert_eq!(fpga.lut_count(), 1);
+//! ```
+
+mod asic;
+mod lut;
+mod mapping;
+mod netlist;
+
+pub use asic::{map_asic, map_asic_network, AsicMapParams};
+pub use lut::{map_lut, map_lut_network, LutMapParams};
+pub use mapping::MappingObjective;
+pub use netlist::{CellNetlist, LutNetlist, MappedCell, MappedLut, NetRef};

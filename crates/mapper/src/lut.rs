@@ -1,0 +1,398 @@
+//! Cut-based K-LUT (FPGA) technology mapping with choice-network support.
+
+use crate::mapping::{prepare_cuts, MappingObjective};
+use crate::netlist::{LutNetlist, NetRef};
+use mch_choice::ChoiceNetwork;
+use mch_logic::{NodeId, TruthTable};
+use mch_techlib::LutLibrary;
+use std::collections::HashMap;
+
+/// Parameters of K-LUT mapping.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct LutMapParams {
+    /// Mapping objective (delay / balanced / area).
+    pub objective: MappingObjective,
+    /// Maximum number of cuts per node.
+    pub cut_limit: usize,
+    /// Number of area-recovery passes after the delay-oriented pass.
+    pub area_rounds: usize,
+}
+
+impl LutMapParams {
+    /// Creates parameters for the given objective with default knobs.
+    pub fn new(objective: MappingObjective) -> Self {
+        LutMapParams {
+            objective,
+            cut_limit: 8,
+            area_rounds: 3,
+        }
+    }
+}
+
+impl Default for LutMapParams {
+    fn default() -> Self {
+        LutMapParams::new(MappingObjective::Area)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct LutCandidate {
+    leaves: Vec<NodeId>,
+    function: TruthTable,
+}
+
+impl LutCandidate {
+    fn arrival(&self, arrivals: &[f64], lut_delay: f64) -> f64 {
+        self.leaves
+            .iter()
+            .map(|l| arrivals[l.index()])
+            .fold(0.0, f64::max)
+            + lut_delay
+    }
+
+    fn area_flow(&self, flows: &[f64], refs: &[f64], lut_area: f64) -> f64 {
+        let mut acc = lut_area;
+        for l in &self.leaves {
+            acc += flows[l.index()] / refs[l.index()].max(1.0);
+        }
+        acc
+    }
+}
+
+/// Maps a choice network onto K-input LUTs.
+///
+/// Identical in structure to the ASIC mapper, except that every cut of at most
+/// `K` leaves is implementable (the LUT mask is the cut function), so no
+/// Boolean matching is needed. Choice-node cuts are transferred to their
+/// representatives first, so candidate structures from other representations
+/// compete on equal terms — this is the configuration that produced the EPFL
+/// best-results entries in the paper (Table II).
+pub fn map_lut(choice: &ChoiceNetwork, lut: &LutLibrary, params: &LutMapParams) -> LutNetlist {
+    let net = choice.network();
+    let cuts = prepare_cuts(choice, lut.k(), params.cut_limit);
+
+    let original_gates: Vec<NodeId> = net
+        .gate_ids()
+        .filter(|id| choice.is_original(*id))
+        .collect();
+    let mut candidates: Vec<Vec<LutCandidate>> = vec![Vec::new(); net.len()];
+    for &id in &original_gates {
+        let mut cands = Vec::new();
+        for cut in cuts.of(id).iter() {
+            if cut.is_trivial() || cut.size() > lut.k() {
+                continue;
+            }
+            let (reduced, support) = cut.function().shrink_to_support();
+            let leaves: Vec<NodeId> = support.iter().map(|&i| cut.leaves()[i]).collect();
+            if leaves.is_empty() {
+                continue;
+            }
+            if !cands
+                .iter()
+                .any(|c: &LutCandidate| c.leaves == leaves && c.function == reduced)
+            {
+                cands.push(LutCandidate {
+                    leaves,
+                    function: reduced,
+                });
+            }
+        }
+        assert!(!cands.is_empty(), "node {id} has no K-feasible cut");
+        candidates[id.index()] = cands;
+    }
+
+    let mut refs = vec![0.0f64; net.len()];
+    for &id in &original_gates {
+        for f in net.node(id).fanins() {
+            refs[f.node().index()] += 1.0;
+        }
+    }
+    for o in net.outputs() {
+        refs[o.node().index()] += 1.0;
+    }
+
+    // Delay-oriented pass.
+    let mut arrival = vec![0.0f64; net.len()];
+    let mut flow = vec![0.0f64; net.len()];
+    let mut best: Vec<usize> = vec![usize::MAX; net.len()];
+    for &id in &original_gates {
+        let cands = &candidates[id.index()];
+        let mut chosen = 0;
+        let mut key = (f64::INFINITY, f64::INFINITY);
+        for (i, c) in cands.iter().enumerate() {
+            let arr = c.arrival(&arrival, lut.delay());
+            let af = c.area_flow(&flow, &refs, lut.area());
+            if (arr, af) < key {
+                key = (arr, af);
+                chosen = i;
+            }
+        }
+        best[id.index()] = chosen;
+        arrival[id.index()] = key.0;
+        flow[id.index()] =
+            cands[chosen].area_flow(&flow, &refs, lut.area()) / refs[id.index()].max(1.0);
+    }
+    let delay_target = net
+        .outputs()
+        .iter()
+        .map(|o| arrival[o.node().index()])
+        .fold(0.0, f64::max);
+
+    // Area-recovery passes.
+    for _ in 0..params.area_rounds {
+        let mut required = vec![f64::INFINITY; net.len()];
+        if params.objective != MappingObjective::Area {
+            for o in net.outputs() {
+                let idx = o.node().index();
+                required[idx] = required[idx].min(delay_target);
+            }
+            for &id in original_gates.iter().rev() {
+                let r = required[id.index()];
+                if !r.is_finite() {
+                    continue;
+                }
+                let c = &candidates[id.index()][best[id.index()]];
+                for l in &c.leaves {
+                    required[l.index()] = required[l.index()].min(r - lut.delay());
+                }
+            }
+        }
+        for &id in &original_gates {
+            let cands = &candidates[id.index()];
+            let node_required = required[id.index()];
+            let strict = params.objective == MappingObjective::Delay;
+            let min_arrival = cands
+                .iter()
+                .map(|c| c.arrival(&arrival, lut.delay()))
+                .fold(f64::INFINITY, f64::min);
+            let mut chosen = best[id.index()];
+            let mut key = (f64::INFINITY, f64::INFINITY);
+            for (i, c) in cands.iter().enumerate() {
+                let arr = c.arrival(&arrival, lut.delay());
+                let feasible = if strict {
+                    arr <= min_arrival + 1e-9
+                } else {
+                    !node_required.is_finite() || arr <= node_required + 1e-9
+                };
+                if !feasible {
+                    continue;
+                }
+                let af = c.area_flow(&flow, &refs, lut.area());
+                if (af, arr) < key {
+                    key = (af, arr);
+                    chosen = i;
+                }
+            }
+            best[id.index()] = chosen;
+            let c = &cands[chosen];
+            arrival[id.index()] = c.arrival(&arrival, lut.delay());
+            flow[id.index()] =
+                c.area_flow(&flow, &refs, lut.area()) / refs[id.index()].max(1.0);
+        }
+    }
+
+    // Cover extraction.
+    let mut needed = vec![false; net.len()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for o in net.outputs() {
+        if net.is_gate(o.node()) {
+            stack.push(o.node());
+        }
+    }
+    while let Some(id) = stack.pop() {
+        if needed[id.index()] {
+            continue;
+        }
+        needed[id.index()] = true;
+        let c = &candidates[id.index()][best[id.index()]];
+        for l in &c.leaves {
+            if net.is_gate(*l) && !needed[l.index()] {
+                stack.push(*l);
+            }
+        }
+    }
+
+    let mut netlist = LutNetlist::new(net.name().to_string(), net.input_count());
+    let input_pos: HashMap<NodeId, usize> = net
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i))
+        .collect();
+
+    // Primary-output polarity is free in a LUT netlist as long as the driver's
+    // positive value has no other consumer: in that case the driver LUT's
+    // function is complemented in place. Otherwise a 1-input inverter LUT is
+    // inserted (rare).
+    let mut positive_uses: HashMap<NodeId, usize> = HashMap::new();
+    for &id in &original_gates {
+        if !needed[id.index()] {
+            continue;
+        }
+        for l in &candidates[id.index()][best[id.index()]].leaves {
+            *positive_uses.entry(*l).or_insert(0) += 1;
+        }
+    }
+    for o in net.outputs() {
+        if !o.is_complement() {
+            *positive_uses.entry(o.node()).or_insert(0) += 1;
+        }
+    }
+    let mut emit_complemented: HashMap<NodeId, bool> = HashMap::new();
+    for o in net.outputs() {
+        let node = o.node();
+        if o.is_complement()
+            && net.is_gate(node)
+            && needed[node.index()]
+            && positive_uses.get(&node).copied().unwrap_or(0) == 0
+        {
+            emit_complemented.insert(node, true);
+        }
+    }
+
+    let mut node_ref: HashMap<NodeId, NetRef> = HashMap::new();
+    let mut inverted: HashMap<NodeId, NetRef> = HashMap::new();
+
+    for &id in &original_gates {
+        if !needed[id.index()] {
+            continue;
+        }
+        let c = &candidates[id.index()][best[id.index()]];
+        let fanins: Vec<NetRef> = c
+            .leaves
+            .iter()
+            .map(|l| {
+                if l.is_const() {
+                    NetRef::Const(false)
+                } else if let Some(&i) = input_pos.get(l) {
+                    NetRef::Input(i)
+                } else {
+                    *node_ref.get(l).expect("leaf mapped before use")
+                }
+            })
+            .collect();
+        let function = if emit_complemented.get(&id).copied().unwrap_or(false) {
+            c.function.not()
+        } else {
+            c.function.clone()
+        };
+        let out = netlist.push_lut(function, fanins);
+        node_ref.insert(id, out);
+    }
+
+    for o in net.outputs() {
+        let node = o.node();
+        let complemented_in_place = emit_complemented.get(&node).copied().unwrap_or(false);
+        let mut r = if node.is_const() {
+            NetRef::Const(false)
+        } else if let Some(&i) = input_pos.get(&node) {
+            NetRef::Input(i)
+        } else {
+            *node_ref.get(&node).expect("output driver mapped")
+        };
+        if o.is_complement() != complemented_in_place {
+            r = match r {
+                NetRef::Const(v) => NetRef::Const(!v),
+                other => *inverted.entry(node).or_insert_with(|| {
+                    netlist.push_lut(TruthTable::var(1, 0).not(), vec![other])
+                }),
+            };
+        }
+        netlist.push_output(r);
+    }
+    netlist
+}
+
+/// Convenience: maps a plain network (no choices) onto K-LUTs.
+pub fn map_lut_network(
+    network: &mch_logic::Network,
+    lut: &LutLibrary,
+    params: &LutMapParams,
+) -> LutNetlist {
+    map_lut(&ChoiceNetwork::from_network(network), lut, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mch_choice::{build_mch, MchParams};
+    use mch_logic::{cec, Network, NetworkKind};
+
+    fn parity8() -> Network {
+        let mut n = Network::with_name(NetworkKind::Aig, "parity8");
+        let xs = n.add_inputs(8);
+        let p = n.xor_reduce(&xs);
+        n.add_output(p);
+        n
+    }
+
+    fn adder4() -> Network {
+        let mut n = Network::with_name(NetworkKind::Aig, "adder4");
+        let a = n.add_inputs(4);
+        let b = n.add_inputs(4);
+        let mut carry = n.constant(false);
+        for i in 0..4 {
+            let (s, c) = n.full_adder(a[i], b[i], carry);
+            n.add_output(s);
+            carry = c;
+        }
+        n.add_output(carry);
+        n
+    }
+
+    #[test]
+    fn lut_mapping_preserves_function() {
+        for net in [parity8(), adder4()] {
+            let mapped = map_lut_network(&net, &LutLibrary::k6(), &LutMapParams::default());
+            assert!(mapped.lut_count() > 0);
+            assert!(cec(&net, &mapped.to_network()).holds(), "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn parity_maps_into_few_luts() {
+        // An 8-input parity over 6-LUTs needs at most a handful of LUTs in two
+        // to three levels (the AND-decomposed XOR tree has 21 nodes).
+        let mapped = map_lut_network(&parity8(), &LutLibrary::k6(), &LutMapParams::default());
+        assert!(mapped.lut_count() <= 4, "got {} LUTs", mapped.lut_count());
+        assert!(mapped.level_count() <= 3);
+    }
+
+    #[test]
+    fn smaller_k_needs_more_luts() {
+        let net = adder4();
+        let k6 = map_lut_network(&net, &LutLibrary::k6(), &LutMapParams::default());
+        let k4 = map_lut_network(&net, &LutLibrary::k4(), &LutMapParams::default());
+        assert!(k4.lut_count() >= k6.lut_count());
+    }
+
+    #[test]
+    fn delay_objective_minimises_levels() {
+        let net = adder4();
+        let delay = map_lut_network(&net, &LutLibrary::k6(), &LutMapParams::new(MappingObjective::Delay));
+        let area = map_lut_network(&net, &LutLibrary::k6(), &LutMapParams::new(MappingObjective::Area));
+        assert!(delay.level_count() <= area.level_count());
+    }
+
+    #[test]
+    fn choice_aware_lut_mapping_stays_equivalent_and_not_worse() {
+        let net = adder4();
+        let params = LutMapParams::default();
+        let baseline = map_lut_network(&net, &LutLibrary::k6(), &params);
+        let mch = build_mch(&net, &MchParams::area_oriented());
+        let mapped = map_lut(&mch, &LutLibrary::k6(), &params);
+        assert!(cec(&net, &mapped.to_network()).holds());
+        assert!(mapped.lut_count() <= baseline.lut_count() + 1);
+    }
+
+    #[test]
+    fn complemented_outputs_get_inverter_luts() {
+        let mut n = Network::new(NetworkKind::Aig);
+        let a = n.add_input();
+        let b = n.add_input();
+        let f = n.and2(a, b);
+        n.add_output(!f);
+        let mapped = map_lut_network(&n, &LutLibrary::k6(), &LutMapParams::default());
+        assert!(cec(&n, &mapped.to_network()).holds());
+    }
+}

@@ -1,0 +1,415 @@
+//! Mapped-netlist data structures: standard-cell netlists (ASIC) and K-LUT
+//! netlists (FPGA), with area/delay reporting and export back to a logic
+//! network for verification.
+
+use mch_choice::emit_decomposed;
+use mch_logic::{Network, NetworkKind, Signal, TruthTable};
+use mch_techlib::{CellId, Library};
+use std::fmt;
+
+/// Reference to a driver inside a mapped netlist.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NetRef {
+    /// A constant value.
+    Const(bool),
+    /// The `i`-th primary input.
+    Input(usize),
+    /// The output of the `i`-th mapped gate/LUT.
+    Gate(usize),
+}
+
+/// One instantiated standard cell.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MappedCell {
+    /// Which library cell is instantiated.
+    pub cell: CellId,
+    /// Drivers of the cell's input pins, in pin order.
+    pub fanins: Vec<NetRef>,
+}
+
+/// A standard-cell netlist produced by ASIC mapping.
+#[derive(Clone, Debug, Default)]
+pub struct CellNetlist {
+    name: String,
+    inputs: usize,
+    gates: Vec<MappedCell>,
+    outputs: Vec<NetRef>,
+}
+
+impl CellNetlist {
+    /// Creates an empty netlist with the given number of primary inputs.
+    pub fn new(name: impl Into<String>, inputs: usize) -> Self {
+        CellNetlist {
+            name: name.into(),
+            inputs,
+            gates: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The netlist name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of primary outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The mapped gates, in topological order.
+    pub fn gates(&self) -> &[MappedCell] {
+        &self.gates
+    }
+
+    /// Number of mapped gates (including inverters/buffers).
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The primary outputs.
+    pub fn outputs(&self) -> &[NetRef] {
+        &self.outputs
+    }
+
+    /// Appends a gate and returns its reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fanin references a gate that does not exist yet (the
+    /// netlist is built in topological order).
+    pub fn push_gate(&mut self, cell: CellId, fanins: Vec<NetRef>) -> NetRef {
+        for f in &fanins {
+            if let NetRef::Gate(i) = f {
+                assert!(*i < self.gates.len(), "fanin must precede the gate");
+            }
+        }
+        self.gates.push(MappedCell { cell, fanins });
+        NetRef::Gate(self.gates.len() - 1)
+    }
+
+    /// Declares a primary output.
+    pub fn push_output(&mut self, driver: NetRef) {
+        self.outputs.push(driver);
+    }
+
+    /// Total cell area in µm².
+    pub fn area(&self, library: &Library) -> f64 {
+        self.gates.iter().map(|g| library.cell(g.cell).area()).sum()
+    }
+
+    /// Critical-path delay in ps under the per-cell pin-to-output model.
+    pub fn delay(&self, library: &Library) -> f64 {
+        let arrivals = self.arrival_times(library);
+        self.outputs
+            .iter()
+            .map(|o| match o {
+                NetRef::Gate(i) => arrivals[*i],
+                _ => 0.0,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Arrival time of every gate output.
+    pub fn arrival_times(&self, library: &Library) -> Vec<f64> {
+        let mut arrivals = vec![0.0f64; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            let input_arrival = g
+                .fanins
+                .iter()
+                .map(|f| match f {
+                    NetRef::Gate(j) => arrivals[*j],
+                    _ => 0.0,
+                })
+                .fold(0.0, f64::max);
+            arrivals[i] = input_arrival + library.cell(g.cell).delay();
+        }
+        arrivals
+    }
+
+    /// Logic depth in cell levels.
+    pub fn level_count(&self) -> u32 {
+        let mut levels = vec![0u32; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            levels[i] = 1 + g
+                .fanins
+                .iter()
+                .map(|f| match f {
+                    NetRef::Gate(j) => levels[*j],
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0);
+        }
+        self.outputs
+            .iter()
+            .map(|o| match o {
+                NetRef::Gate(i) => levels[*i],
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Rebuilds a logic network implementing the netlist, for equivalence
+    /// checking against the pre-mapping network.
+    pub fn to_network(&self, library: &Library) -> Network {
+        let mut net = Network::with_name(NetworkKind::Mixed, self.name.clone());
+        let pis = net.add_inputs(self.inputs);
+        let mut signals: Vec<Signal> = Vec::with_capacity(self.gates.len());
+        for g in &self.gates {
+            let leaves: Vec<Signal> = g
+                .fanins
+                .iter()
+                .map(|f| resolve(f, &pis, &signals, &net))
+                .collect();
+            let function = library.cell(g.cell).function().clone();
+            let out = emit_decomposed(&mut net, &function, &leaves);
+            signals.push(out);
+        }
+        for o in &self.outputs {
+            let s = resolve(o, &pis, &signals, &net);
+            net.add_output(s);
+        }
+        net
+    }
+}
+
+fn resolve(r: &NetRef, pis: &[Signal], gates: &[Signal], net: &Network) -> Signal {
+    match r {
+        NetRef::Const(v) => net.constant(*v),
+        NetRef::Input(i) => pis[*i],
+        NetRef::Gate(i) => gates[*i],
+    }
+}
+
+impl fmt::Display for CellNetlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell netlist '{}': {} gates, {} inputs, {} outputs",
+            self.name,
+            self.gates.len(),
+            self.inputs,
+            self.outputs.len()
+        )
+    }
+}
+
+/// One K-input lookup table.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MappedLut {
+    /// The LUT's function over its fanins.
+    pub function: TruthTable,
+    /// Drivers of the LUT inputs (variable `i` of the function reads fanin `i`).
+    pub fanins: Vec<NetRef>,
+}
+
+/// A K-LUT netlist produced by FPGA mapping.
+#[derive(Clone, Debug, Default)]
+pub struct LutNetlist {
+    name: String,
+    inputs: usize,
+    luts: Vec<MappedLut>,
+    outputs: Vec<NetRef>,
+}
+
+impl LutNetlist {
+    /// Creates an empty LUT netlist with the given number of primary inputs.
+    pub fn new(name: impl Into<String>, inputs: usize) -> Self {
+        LutNetlist {
+            name: name.into(),
+            inputs,
+            luts: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The netlist name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs
+    }
+
+    /// The LUTs, in topological order.
+    pub fn luts(&self) -> &[MappedLut] {
+        &self.luts
+    }
+
+    /// Number of LUTs (the EPFL challenge metric).
+    pub fn lut_count(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// The primary outputs.
+    pub fn outputs(&self) -> &[NetRef] {
+        &self.outputs
+    }
+
+    /// Appends a LUT and returns its reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fanin references a LUT that does not exist yet.
+    pub fn push_lut(&mut self, function: TruthTable, fanins: Vec<NetRef>) -> NetRef {
+        assert_eq!(function.num_vars(), fanins.len(), "one fanin per LUT variable");
+        for f in &fanins {
+            if let NetRef::Gate(i) = f {
+                assert!(*i < self.luts.len(), "fanin must precede the LUT");
+            }
+        }
+        self.luts.push(MappedLut { function, fanins });
+        NetRef::Gate(self.luts.len() - 1)
+    }
+
+    /// Declares a primary output.
+    pub fn push_output(&mut self, driver: NetRef) {
+        self.outputs.push(driver);
+    }
+
+    /// Logic depth in LUT levels (the EPFL challenge's second metric).
+    pub fn level_count(&self) -> u32 {
+        let mut levels = vec![0u32; self.luts.len()];
+        for (i, l) in self.luts.iter().enumerate() {
+            levels[i] = 1 + l
+                .fanins
+                .iter()
+                .map(|f| match f {
+                    NetRef::Gate(j) => levels[*j],
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0);
+        }
+        self.outputs
+            .iter()
+            .map(|o| match o {
+                NetRef::Gate(i) => levels[*i],
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Rebuilds a logic network implementing the netlist, for equivalence
+    /// checking against the pre-mapping network.
+    pub fn to_network(&self) -> Network {
+        let mut net = Network::with_name(NetworkKind::Mixed, self.name.clone());
+        let pis = net.add_inputs(self.inputs);
+        let mut signals: Vec<Signal> = Vec::with_capacity(self.luts.len());
+        for l in &self.luts {
+            let leaves: Vec<Signal> = l
+                .fanins
+                .iter()
+                .map(|f| resolve(f, &pis, &signals, &net))
+                .collect();
+            let out = emit_decomposed(&mut net, &l.function, &leaves);
+            signals.push(out);
+        }
+        for o in &self.outputs {
+            let s = resolve(o, &pis, &signals, &net);
+            net.add_output(s);
+        }
+        net
+    }
+}
+
+impl fmt::Display for LutNetlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT netlist '{}': {} LUTs, {} levels",
+            self.name,
+            self.lut_count(),
+            self.level_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mch_logic::cec;
+    use mch_techlib::asap7_lite;
+
+    #[test]
+    fn cell_netlist_metrics() {
+        let lib = asap7_lite();
+        let nand = lib.find_cell("NAND2x1").unwrap();
+        let inv = lib.inverter();
+        let mut nl = CellNetlist::new("t", 2);
+        let g0 = nl.push_gate(nand, vec![NetRef::Input(0), NetRef::Input(1)]);
+        let g1 = nl.push_gate(inv, vec![g0]);
+        nl.push_output(g1);
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.level_count(), 2);
+        let area = nl.area(&lib);
+        assert!((area - (0.081 + 0.054)).abs() < 1e-9);
+        let delay = nl.delay(&lib);
+        assert!((delay - (15.0 + 12.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_netlist_to_network_is_and() {
+        let lib = asap7_lite();
+        let nand = lib.find_cell("NAND2x1").unwrap();
+        let inv = lib.inverter();
+        let mut nl = CellNetlist::new("t", 2);
+        let g0 = nl.push_gate(nand, vec![NetRef::Input(0), NetRef::Input(1)]);
+        let g1 = nl.push_gate(inv, vec![g0]);
+        nl.push_output(g1);
+        let net = nl.to_network(&lib);
+        let mut expect = Network::new(NetworkKind::Aig);
+        let a = expect.add_input();
+        let b = expect.add_input();
+        let f = expect.and2(a, b);
+        expect.add_output(f);
+        assert!(cec(&net, &expect).holds());
+    }
+
+    #[test]
+    fn lut_netlist_metrics_and_export() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let mut nl = LutNetlist::new("t", 3);
+        let l0 = nl.push_lut(a.xor(&b), vec![NetRef::Input(0), NetRef::Input(1)]);
+        let l1 = nl.push_lut(a.and(&b), vec![l0, NetRef::Input(2)]);
+        nl.push_output(l1);
+        assert_eq!(nl.lut_count(), 2);
+        assert_eq!(nl.level_count(), 2);
+        let net = nl.to_network();
+        let mut expect = Network::new(NetworkKind::Xag);
+        let xs = expect.add_inputs(3);
+        let x = expect.xor2(xs[0], xs[1]);
+        let f = expect.and2(x, xs[2]);
+        expect.add_output(f);
+        assert!(cec(&net, &expect).holds());
+    }
+
+    #[test]
+    #[should_panic(expected = "precede")]
+    fn forward_references_are_rejected() {
+        let mut nl = LutNetlist::new("t", 1);
+        let _ = nl.push_lut(TruthTable::var(1, 0), vec![NetRef::Gate(3)]);
+    }
+
+    #[test]
+    fn constant_outputs_are_allowed() {
+        let lib = asap7_lite();
+        let mut nl = CellNetlist::new("t", 0);
+        nl.push_output(NetRef::Const(true));
+        assert_eq!(nl.delay(&lib), 0.0);
+        assert_eq!(nl.area(&lib), 0.0);
+        let net = nl.to_network(&lib);
+        assert_eq!(net.output_count(), 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! A `compress2rs`-like technology-independent optimization script.
+//!
+//! ABC's `compress2rs` interleaves balancing, rewriting, refactoring and
+//! resubstitution. The reproduction's script interleaves the corresponding
+//! passes of this crate and iterates to a fixed point; it is used to prepare
+//! the Table-I inputs ("the experiment first used ABC's `compress2rs` flow for
+//! iterative optimization").
+
+use crate::{balance, refactor, rewrite};
+use mch_logic::Network;
+
+/// Runs one balance → rewrite → refactor → balance round.
+pub fn compress_round(network: &Network) -> Network {
+    let b1 = balance(network);
+    let rw = rewrite(&b1);
+    let rf = refactor(&rw);
+    balance(&rf)
+}
+
+/// Iterates [`compress_round`] until the gate count stops improving or
+/// `max_rounds` is reached.
+///
+/// # Example
+///
+/// ```
+/// use mch_logic::{cec, Network, NetworkKind};
+/// use mch_opt::compress2rs_like;
+///
+/// let mut n = Network::new(NetworkKind::Aig);
+/// let xs = n.add_inputs(4);
+/// let t1 = n.and2(xs[0], xs[2]);
+/// let t2 = n.and2(xs[0], xs[3]);
+/// let t3 = n.and2(xs[1], xs[2]);
+/// let t4 = n.and2(xs[1], xs[3]);
+/// let o1 = n.or(t1, t2);
+/// let o2 = n.or(t3, t4);
+/// let f = n.or(o1, o2);
+/// n.add_output(f);
+///
+/// let opt = compress2rs_like(&n, 3);
+/// assert!(opt.gate_count() <= n.gate_count());
+/// assert!(cec(&n, &opt).holds());
+/// ```
+pub fn compress2rs_like(network: &Network, max_rounds: usize) -> Network {
+    let mut current = network.clone();
+    for _ in 0..max_rounds {
+        let next = compress_round(&current);
+        let improved = next.gate_count() < current.gate_count()
+            || (next.gate_count() == current.gate_count() && next.depth() < current.depth());
+        if improved {
+            current = next;
+        } else {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mch_logic::{cec, NetworkKind};
+
+    fn messy_network() -> Network {
+        let mut n = Network::with_name(NetworkKind::Aig, "messy");
+        let xs = n.add_inputs(8);
+        // Hand-expanded XORs and un-factored SOPs, chained.
+        let mut layer = Vec::new();
+        for i in 0..4 {
+            let a = xs[2 * i];
+            let b = xs[2 * i + 1];
+            let t1 = n.and2(a, !b);
+            let t2 = n.and2(!a, b);
+            layer.push(n.or(t1, t2));
+        }
+        let mut terms = Vec::new();
+        for &x in &layer[0..2] {
+            for &y in &layer[2..4] {
+                terms.push(n.and2(x, y));
+            }
+        }
+        let mut acc = terms[0];
+        for &t in &terms[1..] {
+            acc = n.or(acc, t);
+        }
+        n.add_output(acc);
+        n.add_output(layer[0]);
+        n
+    }
+
+    #[test]
+    fn compress_reduces_size_and_preserves_function() {
+        let n = messy_network();
+        let opt = compress2rs_like(&n, 4);
+        assert!(cec(&n, &opt).holds());
+        assert!(opt.gate_count() < n.gate_count());
+    }
+
+    #[test]
+    fn compress_is_idempotent_at_fixed_point() {
+        let n = messy_network();
+        let once = compress2rs_like(&n, 6);
+        let twice = compress2rs_like(&once, 2);
+        assert!(twice.gate_count() >= once.gate_count() - 1);
+        assert!(cec(&n, &twice).holds());
+    }
+
+    #[test]
+    fn compress_handles_xmg_networks() {
+        let mut n = Network::new(NetworkKind::Xmg);
+        let xs = n.add_inputs(5);
+        let m = n.maj3(xs[0], xs[1], xs[2]);
+        let x = n.xor2(m, xs[3]);
+        let y = n.maj3(x, xs[4], m);
+        n.add_output(y);
+        let opt = compress2rs_like(&n, 2);
+        assert!(cec(&n, &opt).holds());
+    }
+}

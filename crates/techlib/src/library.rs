@@ -1,0 +1,366 @@
+//! The cell library and its Boolean-matching index.
+
+use crate::{parse_expression, Cell, CellId};
+use mch_logic::TruthTable;
+use std::collections::HashMap;
+
+/// One way of implementing a cut function with a library cell.
+///
+/// Semantics: cut leaf `i` drives cell pin `perm[i]`, through an inverter when
+/// bit `i` of `input_neg` is set; when `output_neg` is set the cell output is
+/// inverted. The ASIC mapper accounts for the extra inverters in both area and
+/// delay.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CellMatch {
+    cell: CellId,
+    perm: Vec<usize>,
+    input_neg: u32,
+    output_neg: bool,
+}
+
+impl CellMatch {
+    /// The matched cell.
+    pub fn cell(&self) -> CellId {
+        self.cell
+    }
+
+    /// Pin placement: leaf `i` drives cell pin `perm[i]`.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Bit mask of leaves that need an inverter before the cell pin.
+    pub fn input_neg(&self) -> u32 {
+        self.input_neg
+    }
+
+    /// Whether the cell output must be inverted.
+    pub fn output_neg(&self) -> bool {
+        self.output_neg
+    }
+
+    /// Total number of inverters this match requires.
+    pub fn inverter_count(&self) -> usize {
+        self.input_neg.count_ones() as usize + self.output_neg as usize
+    }
+}
+
+/// A standard-cell library with a precomputed Boolean-matching index.
+///
+/// The index enumerates, for every cell, every input permutation, input
+/// polarity and output polarity, and maps the resulting truth table to the
+/// corresponding [`CellMatch`]. ASIC mapping then matches a cut by a single
+/// hash lookup of its (support-reduced) function.
+#[derive(Clone, Debug, Default)]
+pub struct Library {
+    name: String,
+    cells: Vec<Cell>,
+    index: HashMap<TruthTable, Vec<CellMatch>>,
+    inverter: Option<CellId>,
+    max_inputs: usize,
+}
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new(name: impl Into<String>) -> Self {
+        Library {
+            name: name.into(),
+            cells: Vec::new(),
+            index: HashMap::new(),
+            inverter: None,
+            max_inputs: 0,
+        }
+    }
+
+    /// The library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cells of the library.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The cell behind `id`.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Looks a cell up by name.
+    pub fn find_cell(&self, name: &str) -> Option<CellId> {
+        self.cells
+            .iter()
+            .position(|c| c.name() == name)
+            .map(|i| CellId(i as u32))
+    }
+
+    /// Iterates over all cell ids.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.cells.len()).map(|i| CellId(i as u32))
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the library holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Largest cell input count; the ASIC mapper limits cut sizes to this.
+    pub fn max_inputs(&self) -> usize {
+        self.max_inputs
+    }
+
+    /// The designated inverter cell (smallest single-input complement cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library contains no inverter.
+    pub fn inverter(&self) -> CellId {
+        self.inverter.expect("library must contain an inverter cell")
+    }
+
+    /// Area of the inverter cell.
+    pub fn inverter_area(&self) -> f64 {
+        self.cell(self.inverter()).area()
+    }
+
+    /// Delay of the inverter cell.
+    pub fn inverter_delay(&self) -> f64 {
+        self.cell(self.inverter()).delay()
+    }
+
+    /// Adds a cell and indexes every NPN variant of its function.
+    pub fn add_cell(&mut self, cell: Cell) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        let n = cell.num_inputs();
+        self.max_inputs = self.max_inputs.max(n);
+        // Track the cheapest inverter.
+        if n == 1 && cell.function() == &TruthTable::var(1, 0).not() {
+            let better = match self.inverter {
+                None => true,
+                Some(existing) => cell.area() < self.cell(existing).area(),
+            };
+            if better {
+                self.inverter = Some(id);
+            }
+        }
+        for perm in permutations(n) {
+            for input_neg in 0..(1u32 << n) {
+                for output_neg in [false, true] {
+                    let variant = cell.function().transform(&perm, input_neg, output_neg);
+                    let entry = CellMatch {
+                        cell: id,
+                        perm: perm.clone(),
+                        input_neg,
+                        output_neg,
+                    };
+                    let bucket = self.index.entry(variant).or_default();
+                    if !bucket.contains(&entry) {
+                        bucket.push(entry);
+                    }
+                }
+            }
+        }
+        self.cells.push(cell);
+        id
+    }
+
+    /// Returns every way of implementing `function` with one library cell
+    /// (plus inverters). The function must be expressed over its support only.
+    pub fn matches(&self, function: &TruthTable) -> &[CellMatch] {
+        self.index.get(function).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Returns the cheapest-area match for `function`, counting the inverters
+    /// each match requires.
+    pub fn best_area_match(&self, function: &TruthTable) -> Option<(&CellMatch, f64)> {
+        self.matches(function)
+            .iter()
+            .map(|m| {
+                let cost =
+                    self.cell(m.cell()).area() + m.inverter_count() as f64 * self.inverter_area();
+                (m, cost)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Returns the lowest-delay match for `function`.
+    pub fn best_delay_match(&self, function: &TruthTable) -> Option<(&CellMatch, f64)> {
+        self.matches(function)
+            .iter()
+            .map(|m| {
+                let extra = if m.inverter_count() > 0 {
+                    self.inverter_delay()
+                } else {
+                    0.0
+                };
+                (m, self.cell(m.cell()).delay() + extra)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn rec(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k == items.len() {
+            out.push(items.clone());
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            rec(items, k + 1, out);
+            items.swap(k, i);
+        }
+    }
+    let mut items: Vec<usize> = (0..n).collect();
+    let mut out = Vec::new();
+    rec(&mut items, 0, &mut out);
+    out
+}
+
+/// Builds the ASAP7-magnitude cell library used by the experiments.
+///
+/// The set mirrors the combinational sub-set of a 7 nm standard-cell offering:
+/// inverters/buffers, NAND/NOR/AND/OR up to four inputs, XOR/XNOR, AOI/OAI
+/// complex gates, multiplexers and a three-input majority gate. Areas are in
+/// µm² and delays in ps with magnitudes comparable to ASAP7 typical corners;
+/// see `DESIGN.md` for why only the relative costs matter for reproduction.
+pub fn asap7_lite() -> Library {
+    let mut lib = Library::new("asap7-lite");
+    let cells: &[(&str, usize, &str, f64, f64)] = &[
+        ("INVx1", 1, "!a", 0.054, 12.0),
+        ("BUFx2", 1, "a", 0.081, 18.0),
+        ("NAND2x1", 2, "!(a & b)", 0.081, 15.0),
+        ("NAND3x1", 3, "!(a & b & c)", 0.108, 21.0),
+        ("NAND4x1", 4, "!(a & b & c & d)", 0.135, 27.0),
+        ("NOR2x1", 2, "!(a | b)", 0.081, 17.0),
+        ("NOR3x1", 3, "!(a | b | c)", 0.108, 24.0),
+        ("NOR4x1", 4, "!(a | b | c | d)", 0.135, 31.0),
+        ("AND2x2", 2, "a & b", 0.108, 20.0),
+        ("AND3x2", 3, "a & b & c", 0.135, 25.0),
+        ("AND4x2", 4, "a & b & c & d", 0.162, 30.0),
+        ("OR2x2", 2, "a | b", 0.108, 22.0),
+        ("OR3x2", 3, "a | b | c", 0.135, 27.0),
+        ("OR4x2", 4, "a | b | c | d", 0.162, 33.0),
+        ("XOR2x1", 2, "a ^ b", 0.162, 28.0),
+        ("XNOR2x1", 2, "!(a ^ b)", 0.162, 28.0),
+        ("AOI21x1", 3, "!((a & b) | c)", 0.108, 20.0),
+        ("AOI22x1", 4, "!((a & b) | (c & d))", 0.135, 24.0),
+        ("AOI211x1", 4, "!((a & b) | c | d)", 0.135, 27.0),
+        ("OAI21x1", 3, "!((a | b) & c)", 0.108, 21.0),
+        ("OAI22x1", 4, "!((a | b) & (c | d))", 0.135, 25.0),
+        ("OAI211x1", 4, "!((a | b) & c & d)", 0.135, 28.0),
+        ("AO21x1", 3, "(a & b) | c", 0.135, 25.0),
+        ("AO22x1", 4, "(a & b) | (c & d)", 0.162, 29.0),
+        ("OA21x1", 3, "(a | b) & c", 0.135, 26.0),
+        ("OA22x1", 4, "(a | b) & (c | d)", 0.162, 30.0),
+        ("MUX2x1", 3, "(a & b) | (!a & c)", 0.162, 26.0),
+        ("MXI2x1", 3, "!((a & b) | (!a & c))", 0.148, 24.0),
+        ("MAJ3x1", 3, "(a & b) | (a & c) | (b & c)", 0.189, 30.0),
+        ("MAJI3x1", 3, "!((a & b) | (a & c) | (b & c))", 0.175, 28.0),
+        ("XOR3x1", 3, "a ^ b ^ c", 0.243, 41.0),
+        ("AOI31x1", 4, "!((a & b & c) | d)", 0.135, 26.0),
+        ("OAI31x1", 4, "!((a | b | c) & d)", 0.135, 27.0),
+        ("AOI221x1", 5, "!((a & b) | (c & d) | e)", 0.162, 30.0),
+        ("OAI221x1", 5, "!((a | b) & (c | d) & e)", 0.162, 31.0),
+        ("NAND2_B1x1", 2, "!(!a & b)", 0.095, 17.0),
+        ("NOR2_B1x1", 2, "!(!a | b)", 0.095, 19.0),
+    ];
+    for &(name, inputs, expr, area, delay) in cells {
+        let f = parse_expression(expr, inputs).expect("library expression parses");
+        lib.add_cell(Cell::new(name, f, area, delay));
+    }
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asap7_lite_has_inverter_and_index() {
+        let lib = asap7_lite();
+        assert!(lib.len() > 30);
+        assert_eq!(lib.cell(lib.inverter()).name(), "INVx1");
+        assert_eq!(lib.max_inputs(), 5);
+    }
+
+    #[test]
+    fn matches_and_function() {
+        let lib = asap7_lite();
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let and = a.and(&b);
+        let matches = lib.matches(&and);
+        assert!(!matches.is_empty());
+        // Direct AND cell exists, so the best area match needs no inverter.
+        let (best, _) = lib.best_area_match(&and).unwrap();
+        assert_eq!(best.inverter_count(), 0);
+    }
+
+    #[test]
+    fn matches_cover_inverted_inputs() {
+        let lib = asap7_lite();
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        // a & !b is not a library cell but is matched via NAND2_B1 / polarity variants.
+        let f = a.and(&b.not());
+        assert!(!lib.matches(&f).is_empty());
+    }
+
+    #[test]
+    fn aoi_matches_without_inverters() {
+        let lib = asap7_lite();
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        let aoi = a.and(&b).or(&c).not();
+        let (best, cost) = lib.best_area_match(&aoi).unwrap();
+        assert_eq!(lib.cell(best.cell()).name(), "AOI21x1");
+        assert!((cost - 0.108).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_match_prefers_fast_cells() {
+        let lib = asap7_lite();
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let nand = a.and(&b).not();
+        let (best, delay) = lib.best_delay_match(&nand).unwrap();
+        assert_eq!(lib.cell(best.cell()).name(), "NAND2x1");
+        assert!((delay - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_function_has_no_match() {
+        let lib = asap7_lite();
+        // A 5-input XOR-ish function that no cell implements.
+        let mut f = TruthTable::var(5, 0);
+        for v in 1..5 {
+            f = f.xor(&TruthTable::var(5, v));
+        }
+        assert!(lib.matches(&f).is_empty());
+    }
+
+    #[test]
+    fn match_semantics_reconstruct_function() {
+        let lib = asap7_lite();
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        let f = a.or(&b.not()).and(&c).not();
+        for m in lib.matches(&f) {
+            let redone = lib
+                .cell(m.cell())
+                .function()
+                .transform(m.perm(), m.input_neg(), m.output_neg());
+            assert_eq!(redone, f);
+        }
+        assert!(!lib.matches(&f).is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! The LUT cost model used for FPGA mapping.
+
+/// Cost model of a K-input lookup table.
+///
+/// The EPFL best-results challenge counts LUTs and logic levels, so the
+/// default model charges one unit of area and one unit of delay per LUT.
+///
+/// # Example
+///
+/// ```
+/// use mch_techlib::LutLibrary;
+///
+/// let lut6 = LutLibrary::k6();
+/// assert_eq!(lut6.k(), 6);
+/// assert_eq!(lut6.area(), 1.0);
+/// ```
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct LutLibrary {
+    k: usize,
+    area: f64,
+    delay: f64,
+}
+
+impl LutLibrary {
+    /// Creates a LUT model with `k` inputs and the given per-LUT area/delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not in `2..=8`.
+    pub fn new(k: usize, area: f64, delay: f64) -> Self {
+        assert!((2..=8).contains(&k), "LUT size must be in 2..=8");
+        LutLibrary { k, area, delay }
+    }
+
+    /// The standard 6-input LUT with unit area and delay.
+    pub fn k6() -> Self {
+        LutLibrary::new(6, 1.0, 1.0)
+    }
+
+    /// The standard 4-input LUT with unit area and delay.
+    pub fn k4() -> Self {
+        LutLibrary::new(4, 1.0, 1.0)
+    }
+
+    /// Number of LUT inputs.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Area charged per LUT.
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Delay charged per LUT level.
+    pub fn delay(&self) -> f64 {
+        self.delay
+    }
+}
+
+impl Default for LutLibrary {
+    fn default() -> Self {
+        LutLibrary::k6()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(LutLibrary::k6().k(), 6);
+        assert_eq!(LutLibrary::k4().k(), 4);
+        assert_eq!(LutLibrary::default(), LutLibrary::k6());
+        let custom = LutLibrary::new(5, 2.0, 3.0);
+        assert_eq!(custom.area(), 2.0);
+        assert_eq!(custom.delay(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "LUT size")]
+    fn rejects_out_of_range_k() {
+        let _ = LutLibrary::new(12, 1.0, 1.0);
+    }
+}

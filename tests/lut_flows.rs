@@ -1,0 +1,53 @@
+//! Integration tests of the FPGA (6-LUT) flows (Table-II shape checks).
+
+use mch::benchmarks::benchmark;
+use mch::core::{lut_flow_baseline, lut_flow_mch, MchConfig};
+use mch::mapper::MappingObjective;
+use mch::opt::compress2rs_like;
+use mch::techlib::LutLibrary;
+
+#[test]
+fn lut_flows_verify_on_a_mix_of_circuits() {
+    let lut = LutLibrary::k6();
+    for name in ["int2float", "priority", "dec"] {
+        let input = compress2rs_like(&benchmark(name).unwrap(), 1);
+        let base = lut_flow_baseline(&input, &lut, MappingObjective::Area);
+        let mch = lut_flow_mch(&input, &lut, &MchConfig::lut_area());
+        assert!(base.verified, "{name}: baseline failed verification");
+        assert!(mch.verified, "{name}: MCH failed verification");
+        assert!(base.luts > 0 && mch.luts > 0);
+    }
+}
+
+#[test]
+fn mch_lut_mapping_never_much_worse_than_baseline() {
+    let lut = LutLibrary::k6();
+    for name in ["sin", "int2float", "max"] {
+        let input = compress2rs_like(&benchmark(name).unwrap(), 2);
+        let base = lut_flow_baseline(&input, &lut, MappingObjective::Area);
+        let mch = lut_flow_mch(&input, &lut, &MchConfig::lut_area());
+        assert!(
+            mch.luts as f64 <= base.luts as f64 * 1.05 + 1.0,
+            "{name}: MCH {} LUTs vs baseline {} LUTs",
+            mch.luts,
+            base.luts
+        );
+    }
+}
+
+#[test]
+fn smaller_k_increases_lut_count() {
+    let input = compress2rs_like(&benchmark("int2float").unwrap(), 1);
+    let k6 = lut_flow_baseline(&input, &LutLibrary::k6(), MappingObjective::Area);
+    let k4 = lut_flow_baseline(&input, &LutLibrary::k4(), MappingObjective::Area);
+    assert!(k4.luts >= k6.luts);
+}
+
+#[test]
+fn delay_objective_gives_fewer_levels() {
+    let input = compress2rs_like(&benchmark("priority").unwrap(), 1);
+    let lut = LutLibrary::k6();
+    let delay = lut_flow_baseline(&input, &lut, MappingObjective::Delay);
+    let area = lut_flow_baseline(&input, &lut, MappingObjective::Area);
+    assert!(delay.levels <= area.levels);
+}

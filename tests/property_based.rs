@@ -1,0 +1,68 @@
+//! Property-based tests over randomly generated networks: every major
+//! transformation in the workspace must preserve the Boolean function of every
+//! primary output.
+
+use mch::benchmarks::random_logic;
+use mch::choice::{build_mch, ChoiceNetwork, MchParams};
+use mch::logic::{cec, convert, NetworkKind};
+use mch::mapper::{map_asic, map_lut, AsicMapParams, LutMapParams, MappingObjective};
+use mch::opt::{balance, compress2rs_like, graph_map, refactor, rewrite};
+use mch::techlib::{asap7_lite, LutLibrary};
+use proptest::prelude::*;
+
+fn arbitrary_network() -> impl Strategy<Value = mch::logic::Network> {
+    (2usize..9, 1usize..6, 10usize..120, any::<u64>()).prop_map(
+        |(inputs, outputs, gates, seed)| random_logic("prop", inputs, outputs, gates, seed),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conversion_preserves_function(net in arbitrary_network(), kind_idx in 0usize..4) {
+        let target = NetworkKind::homogeneous()[kind_idx];
+        let converted = convert(&net, target);
+        prop_assert!(cec(&net, &converted).holds());
+    }
+
+    #[test]
+    fn optimization_passes_preserve_function(net in arbitrary_network()) {
+        prop_assert!(cec(&net, &balance(&net)).holds());
+        prop_assert!(cec(&net, &rewrite(&net)).holds());
+        prop_assert!(cec(&net, &refactor(&net)).holds());
+        prop_assert!(cec(&net, &compress2rs_like(&net, 2)).holds());
+    }
+
+    #[test]
+    fn mch_choices_are_functionally_consistent(net in arbitrary_network()) {
+        let mch = build_mch(&net, &MchParams::area_oriented());
+        prop_assert!(mch.verify(16, 7).is_empty());
+        prop_assert!(cec(&net, &mch.network().cleanup()).holds());
+    }
+
+    #[test]
+    fn lut_mapping_preserves_function(net in arbitrary_network()) {
+        let mapped = map_lut(
+            &ChoiceNetwork::from_network(&net),
+            &LutLibrary::k6(),
+            &LutMapParams::new(MappingObjective::Area),
+        );
+        prop_assert!(cec(&net, &mapped.to_network()).holds());
+    }
+
+    #[test]
+    fn choice_aware_asic_mapping_preserves_function(net in arbitrary_network()) {
+        let library = asap7_lite();
+        let mch = build_mch(&net, &MchParams::balanced());
+        let mapped = map_asic(&mch, &library, &AsicMapParams::new(MappingObjective::Balanced));
+        prop_assert!(cec(&net, &mapped.to_network(&library)).holds());
+    }
+
+    #[test]
+    fn graph_mapping_preserves_function(net in arbitrary_network(), kind_idx in 0usize..4) {
+        let target = NetworkKind::homogeneous()[kind_idx];
+        let mapped = graph_map(&net, target, MappingObjective::Area);
+        prop_assert!(cec(&net, &mapped).holds());
+    }
+}
