@@ -1,7 +1,8 @@
 //! Criterion bench for the ablation studies called out in DESIGN.md: choice
 //! sharing on/off, critical-ratio sweep, mixed vs single representation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mch_bench::harness::Criterion;
+use mch_bench::{criterion_group, criterion_main};
 use mch_bench::experiments::{
     ablation_choice_sharing, ablation_critical_ratio, ablation_mixed_vs_single,
 };

@@ -1,7 +1,8 @@
 //! Criterion bench for the Figure-1 experiment: ASIC mapping of the "Max"
 //! circuit in different logic representations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mch_bench::harness::Criterion;
+use mch_bench::{criterion_group, criterion_main};
 use mch_choice::ChoiceNetwork;
 use mch_logic::{convert, NetworkKind};
 use mch_mapper::{map_asic, AsicMapParams, MappingObjective};

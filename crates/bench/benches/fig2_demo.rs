@@ -1,7 +1,8 @@
 //! Criterion bench for the Figure-2 experiment: the full demo comparison
 //! (traditional vs DCH vs MCH) on the `(a+b) > 0` circuit.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mch_bench::harness::Criterion;
+use mch_bench::{criterion_group, criterion_main};
 use mch_bench::run_fig2;
 
 fn bench_fig2(c: &mut Criterion) {

@@ -1,7 +1,8 @@
 //! Criterion bench for the Figure-6 experiment: iterated graph mapping with
 //! and without MCH.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mch_bench::harness::Criterion;
+use mch_bench::{criterion_group, criterion_main};
 use mch_choice::MchParams;
 use mch_logic::NetworkKind;
 use mch_mapper::MappingObjective;

@@ -1,7 +1,8 @@
 //! Criterion bench for the Table-I experiment: the six ASIC flows on a
 //! representative control circuit.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mch_bench::harness::Criterion;
+use mch_bench::{criterion_group, criterion_main};
 use mch_core::{
     asic_flow_baseline, asic_flow_dch, asic_flow_mch, prepare_input, MchConfig,
 };

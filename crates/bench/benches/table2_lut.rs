@@ -1,6 +1,7 @@
 //! Criterion bench for the Table-II experiment: baseline vs MCH 6-LUT mapping.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mch_bench::harness::Criterion;
+use mch_bench::{criterion_group, criterion_main};
 use mch_core::{lut_flow_baseline, lut_flow_mch, MchConfig};
 use mch_mapper::MappingObjective;
 use mch_opt::compress2rs_like;

@@ -1,0 +1,224 @@
+//! A minimal, dependency-free stand-in for the Criterion benchmark API.
+//!
+//! The container this reproduction builds in has no access to crates.io, so
+//! the bench targets use this drop-in subset of Criterion instead: groups,
+//! `sample_size`, `bench_function`/`Bencher::iter` and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is wall-clock with
+//! automatic iteration batching for sub-millisecond functions; the reported
+//! statistic is the median over samples, which is robust to scheduler noise.
+//!
+//! [`criterion_group!`]: crate::criterion_group
+//! [`criterion_main!`]: crate::criterion_main
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// One measured benchmark function.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// `"group/function"` identifier.
+    pub id: String,
+    /// Median time of one call, in nanoseconds.
+    pub median_ns: f64,
+    /// Minimum observed time of one call, in nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Top-level benchmark driver; collects a [`Record`] per measured function.
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    /// Creates an empty driver.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let record = run_benchmark(&id, 20, f);
+        self.records.push(record);
+        self
+    }
+
+    /// All records measured so far.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Prints a closing one-line-per-record summary.
+    pub fn final_summary(&self) {
+        eprintln!("\n== bench summary ({} functions) ==", self.records.len());
+        for r in &self.records {
+            eprintln!("{:<50} median {:>12}", r.id, format_ns(r.median_ns));
+        }
+    }
+}
+
+/// A named group of benchmark functions sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per function.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Measures `f` and records the result as `"group/function"`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let record = run_benchmark(&id, self.sample_size, f);
+        self.criterion.records.push(record);
+        self
+    }
+
+    /// Ends the group (retained for Criterion API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the closure of `bench_function`; times the routine under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Calls `routine` `self.iters` times, timing the whole batch.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) -> Record {
+    // Warm-up and calibration: time a single call, then batch iterations so
+    // each sample runs for at least ~2 ms (bounded to keep totals sane).
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed_ns: 0.0,
+    };
+    f(&mut bencher);
+    let once_ns = bencher.elapsed_ns.max(1.0);
+    let iters = ((2_000_000.0 / once_ns).ceil() as u64).clamp(1, 100_000);
+
+    let mut per_call: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0.0,
+        };
+        f(&mut b);
+        per_call.push(b.elapsed_ns / iters as f64);
+    }
+    per_call.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median_ns = per_call[per_call.len() / 2];
+    let min_ns = per_call[0];
+    eprintln!(
+        "{id:<50} median {:>12}  min {:>12}  ({sample_size} samples × {iters} iters)",
+        format_ns(median_ns),
+        format_ns(min_ns),
+    );
+    Record {
+        id: id.to_string(),
+        median_ns,
+        min_ns,
+        samples: sample_size,
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit.
+pub fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::harness::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::new();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_collected_per_group() {
+        let mut c = Criterion::new();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("fast", |b| b.iter(|| black_box(1 + 1)));
+            g.finish();
+        }
+        assert_eq!(c.records().len(), 1);
+        assert_eq!(c.records()[0].id, "g/fast");
+        assert!(c.records()[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2_000_000_000.0).ends_with("s"));
+    }
+}

@@ -7,6 +7,7 @@
 //! numbers and these functions.
 
 pub mod experiments;
+pub mod harness;
 pub mod printing;
 
 pub use experiments::{

@@ -227,8 +227,8 @@ pub fn sine_approx(width: usize) -> Network {
     let x5 = multiply(&mut n, &x3_top, &x2_top);
     let x5_top: Word = x5[width..].to_vec();
     // x - x3/8 + x5/64 over `width` bits.
-    let x3_shift = zero_extend(&n, &shift_left_fixed(&n, &x3_top, 0)[3..].to_vec(), width);
-    let x5_shift = zero_extend(&n, &shift_left_fixed(&n, &x5_top, 0)[6.min(width - 1)..].to_vec(), width);
+    let x3_shift = zero_extend(&n, &shift_left_fixed(&n, &x3_top, 0)[3..], width);
+    let x5_shift = zero_extend(&n, &shift_left_fixed(&n, &x5_top, 0)[6.min(width - 1)..], width);
     let (tmp, _) = ripple_sub(&mut n, &x, &x3_shift);
     let zero = n.constant(false);
     let (result, _) = ripple_add(&mut n, &tmp, &x5_shift, zero);

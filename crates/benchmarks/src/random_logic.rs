@@ -7,9 +7,7 @@
 //! counts, which exercises the mappers the same way: irregular cones, mixed
 //! polarities and wide fanin distributions.
 
-use mch_logic::{Network, NetworkKind, Signal};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mch_logic::{Network, NetworkKind, Prng, Signal};
 
 /// Generates a random layered control-logic network.
 ///
@@ -31,7 +29,7 @@ pub fn random_logic(
 ) -> Network {
     assert!(inputs > 0, "at least one input required");
     assert!(outputs > 0, "at least one output required");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut net = Network::with_name(NetworkKind::Aig, name.to_string());
     let mut pool: Vec<Signal> = net.add_inputs(inputs);
     let target = inputs + gates;
@@ -39,7 +37,7 @@ pub fn random_logic(
         // Bias fanin selection towards recently created signals so that most
         // of the logic ends up in the transitive fan-in of the outputs (which
         // are drawn from the tail of the pool).
-        let pick = |rng: &mut StdRng, pool: &Vec<Signal>| -> Signal {
+        let pick = |rng: &mut Prng, pool: &Vec<Signal>| -> Signal {
             if rng.gen_bool(0.6) && pool.len() > 8 {
                 let window = pool.len().min(24);
                 pool[pool.len() - 1 - rng.gen_range(0..window)]

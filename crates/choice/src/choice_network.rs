@@ -2,9 +2,7 @@
 //! *representative* nodes (the original structure) and *choice* nodes
 //! (functionally equivalent candidate structures).
 
-use mch_logic::{simulate_nodes, GateKind, Network, NetworkKind, NodeId, Signal};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mch_logic::{simulate_nodes, GateKind, Network, NetworkKind, NodeId, Prng, Signal};
 use std::collections::HashMap;
 
 /// A mixed network with structural choices.
@@ -138,9 +136,9 @@ impl ChoiceNetwork {
         if self.choices.is_empty() {
             return Vec::new();
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         let patterns: Vec<Vec<u64>> = (0..self.network.input_count())
-            .map(|_| (0..words).map(|_| rng.gen()).collect())
+            .map(|_| (0..words).map(|_| rng.next_u64()).collect())
             .collect();
         let values = simulate_nodes(&self.network, &patterns);
         let mut bad = Vec::new();
@@ -207,8 +205,7 @@ mod tests {
         assert!(!cn.add_choice(f.node(), f));
         let cand = {
             let net = cn.network_mut();
-            let o = net.maj3(a, b, Signal::CONST0);
-            o
+            net.maj3(a, b, Signal::CONST0)
         };
         assert!(cn.add_choice(f.node(), cand));
         assert!(!cn.add_choice(f.node(), cand));

@@ -9,9 +9,7 @@
 //! complement). It is the baseline MCH is compared against in Table I.
 
 use crate::choice_network::ChoiceNetwork;
-use mch_logic::{simulate_nodes, GateKind, Network, NodeId, Signal, TruthTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mch_logic::{simulate_nodes, GateKind, Network, NodeId, Prng, Signal, TruthTable};
 use std::collections::{HashMap, HashSet};
 
 /// Number of 64-bit simulation words used for signature matching.
@@ -206,7 +204,7 @@ pub fn add_snapshot_choices(cn: &mut ChoiceNetwork, snapshot: &Network) -> usize
 /// Canonicalizes a signature for phase-insensitive lookup: the first bit is
 /// forced to zero by complementing when necessary.
 fn canonical_signature(words: &[u64]) -> (Vec<u64>, bool) {
-    if words.first().map_or(false, |w| w & 1 == 1) {
+    if words.first().is_some_and(|w| w & 1 == 1) {
         (words.iter().map(|w| !w).collect(), true)
     } else {
         (words.to_vec(), false)
@@ -218,9 +216,9 @@ fn link_by_signature(cn: &mut ChoiceNetwork, candidates: &[NodeId]) -> usize {
         return 0;
     }
     let network = cn.network();
-    let mut rng = StdRng::seed_from_u64(0xD0C0_FFEE);
+    let mut rng = Prng::seed_from_u64(0xD0C0_FFEE);
     let patterns: Vec<Vec<u64>> = (0..network.input_count())
-        .map(|_| (0..SIGNATURE_WORDS).map(|_| rng.gen()).collect())
+        .map(|_| (0..SIGNATURE_WORDS).map(|_| rng.next_u64()).collect())
         .collect();
     let values = simulate_nodes(network, &patterns);
 

@@ -142,7 +142,7 @@ pub fn emit_factored(network: &mut Network, cubes: &[Cube], leaves: &[Signal]) -
                 .iter()
                 .filter(|c| c.mask & (1 << v) != 0 && (c.polarity >> v) & 1 == phase as u32)
                 .count();
-            if count >= 2 && best.map_or(true, |(_, _, n)| count > n) {
+            if count >= 2 && best.is_none_or(|(_, _, n)| count > n) {
                 best = Some((v, phase, count));
             }
         }

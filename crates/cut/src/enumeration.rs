@@ -1,5 +1,14 @@
 //! The priority-cut enumeration algorithm.
+//!
+//! This is the inner loop of every mapping flow, so it is written to stay off
+//! the heap: merged leaf sets live in stack [`LeafBuf`]s, truth tables of
+//! `<= 6` variables are single inline words, the proto-cut and final-cut
+//! scratch vectors are reused across all nodes, and signature popcounts
+//! reject oversized merges before any leaf is touched. The only per-node
+//! allocation is the compact `Vec` that ends up owning the node's final cut
+//! list.
 
+use crate::cut::{LeafBuf, MAX_CUT_SIZE};
 use crate::{Cut, CutSet};
 use mch_logic::{GateKind, Network, NodeId, Signal, TruthTable};
 
@@ -22,8 +31,13 @@ impl CutParams {
     ///
     /// Panics if `cut_size` is 0 or greater than 8, or `cut_limit` is 0.
     pub fn new(cut_size: usize, cut_limit: usize) -> Self {
-        assert!((1..=8).contains(&cut_size), "cut size must be in 1..=8");
+        assert!(
+            (1..=MAX_CUT_SIZE).contains(&cut_size),
+            "cut size must be in 1..={MAX_CUT_SIZE}"
+        );
         assert!(cut_limit >= 1, "at least one cut per node is required");
+        // Fanin-cut indices are stored as u16 during enumeration.
+        assert!(cut_limit < u16::MAX as usize, "cut limit must fit in 16 bits");
         CutParams { cut_size, cut_limit }
     }
 }
@@ -64,40 +78,89 @@ impl NetworkCuts {
     }
 }
 
+/// Computes the table of one fanin over the merged leaf ordering, negating it
+/// when the fanin edge is complemented. The placement is built with a linear
+/// two-pointer scan (both leaf lists are sorted) into a stack array, and the
+/// remap itself stays on the single-word fast path whenever the merged cut
+/// has at most six leaves.
+#[inline]
+fn fanin_table(sig: Signal, cut: &Cut, leaves: &[NodeId]) -> TruthTable {
+    let nvars = leaves.len();
+    if cut.size() == 0 {
+        // Constant cut: the fanin is the constant-false node (possibly seen
+        // through a complemented edge).
+        return TruthTable::constant(nvars, sig.is_complement());
+    }
+    let mut placement = [0usize; MAX_CUT_SIZE];
+    let mut j = 0;
+    for (i, l) in cut.leaves().iter().enumerate() {
+        while leaves[j] != *l {
+            j += 1;
+        }
+        placement[i] = j;
+    }
+    let t = cut.function().remap_vars(nvars, &placement[..cut.size()]);
+    if sig.is_complement() {
+        t.not()
+    } else {
+        t
+    }
+}
+
 /// Computes the function of `root` over the merged `leaves`, given the cut
-/// functions of its fanins.
+/// functions of its fanins. No intermediate collections are built; the two or
+/// three fanin tables are composed directly.
 fn compose_function(
     kind: GateKind,
     fanins: &[Signal],
     fanin_cuts: &[&Cut],
     leaves: &[NodeId],
 ) -> TruthTable {
-    let nvars = leaves.len();
-    let mut tables: Vec<TruthTable> = Vec::with_capacity(fanins.len());
-    for (sig, cut) in fanins.iter().zip(fanin_cuts) {
-        // Remap the fanin's cut function onto the merged leaf ordering.
-        let placement: Vec<usize> = cut
-            .leaves()
-            .iter()
-            .map(|l| leaves.binary_search(l).expect("leaf present in merged cut"))
-            .collect();
-        let mut t = if cut.size() == 0 {
-            // Constant cut: the fanin is the constant-false node.
-            TruthTable::zeros(nvars)
-        } else {
-            cut.function().remap_vars(nvars, &placement)
-        };
-        if sig.is_complement() {
-            t = t.not();
-        }
-        tables.push(t);
-    }
     match kind {
-        GateKind::And2 => tables[0].and(&tables[1]),
-        GateKind::Xor2 => tables[0].xor(&tables[1]),
-        GateKind::Maj3 => TruthTable::maj(&tables[0], &tables[1], &tables[2]),
+        GateKind::And2 => fanin_table(fanins[0], fanin_cuts[0], leaves)
+            .and(&fanin_table(fanins[1], fanin_cuts[1], leaves)),
+        GateKind::Xor2 => fanin_table(fanins[0], fanin_cuts[0], leaves)
+            .xor(&fanin_table(fanins[1], fanin_cuts[1], leaves)),
+        GateKind::Maj3 => TruthTable::maj(
+            &fanin_table(fanins[0], fanin_cuts[0], leaves),
+            &fanin_table(fanins[1], fanin_cuts[1], leaves),
+            &fanin_table(fanins[2], fanin_cuts[2], leaves),
+        ),
         _ => unreachable!("only gates are composed"),
     }
+}
+
+/// A cut candidate before its function is computed: the merged leaves, the
+/// signature, and the indices of the fanin cuts that produced it. Keeping the
+/// cross product in this form defers truth-table composition — the expensive
+/// step — until after dominance filtering and priority truncation, so only
+/// the `cut_limit` surviving cuts per node ever get a function.
+#[derive(Copy, Clone)]
+struct ProtoCut {
+    leaves: LeafBuf,
+    signature: u64,
+    src: [u16; 3],
+}
+
+/// `true` when leaves of `a` are a subset of (or equal to) leaves of `b`.
+#[inline]
+fn leaf_subset(a: &ProtoCut, b: &ProtoCut) -> bool {
+    crate::cut::sorted_leaf_subset(
+        a.leaves.as_slice(),
+        a.signature,
+        b.leaves.as_slice(),
+        b.signature,
+    )
+}
+
+/// Dominance-filtered insertion into the proto scratch list, mirroring
+/// [`CutSet::insert`] semantics on the leaf sets alone.
+fn proto_insert(protos: &mut Vec<ProtoCut>, cand: ProtoCut) {
+    if protos.iter().any(|p| leaf_subset(p, &cand)) {
+        return;
+    }
+    protos.retain(|p| !leaf_subset(&cand, p));
+    protos.push(cand);
 }
 
 /// Enumerates priority cuts for every node of `network`.
@@ -105,7 +168,9 @@ fn compose_function(
 /// Each gate's cut set is built from the cross product of its fanins' cut
 /// sets, filtered by dominance, capped at `params.cut_limit` cuts of at most
 /// `params.cut_size` leaves, and always contains the node's trivial cut.
-/// Truth tables are computed for every stored cut.
+/// Truth tables are computed for every stored cut (and only for stored cuts:
+/// candidates rejected by dominance or the priority truncation never pay for
+/// function composition).
 pub fn enumerate_cuts(network: &Network, params: &CutParams) -> NetworkCuts {
     let mut sets: Vec<CutSet> = vec![CutSet::new(); network.len()];
     // Constant node and primary inputs.
@@ -113,55 +178,116 @@ pub fn enumerate_cuts(network: &Network, params: &CutParams) -> NetworkCuts {
     for &pi in network.inputs() {
         sets[pi.index()].push_unchecked(Cut::trivial(pi));
     }
+    // Scratch buffers reused across every gate; their backing vectors reach
+    // the high-water cross-product size once and are then recycled.
+    let mut protos: Vec<ProtoCut> = Vec::new();
+    let mut final_cuts: Vec<Cut> = Vec::new();
     for id in network.gate_ids() {
         let node = network.node(id);
-        let fanins: Vec<Signal> = node.fanins().to_vec();
-        let mut set = CutSet::new();
-
-        // Cross product of fanin cut sets.
-        let fanin_sets: Vec<&CutSet> = fanins.iter().map(|s| &sets[s.node().index()]).collect();
+        let fanins = node.fanins();
+        protos.clear();
+        final_cuts.clear();
         match fanins.len() {
             2 => {
-                for ca in fanin_sets[0].iter() {
-                    for cb in fanin_sets[1].iter() {
-                        if let Some(leaves) = Cut::merge_leaves(ca, cb, params.cut_size) {
-                            let f = compose_function(node.kind(), &fanins, &[ca, cb], &leaves);
-                            set.insert(Cut::new(id, leaves, f));
+                let sa = &sets[fanins[0].node().index()];
+                let sb = &sets[fanins[1].node().index()];
+                for (ia, ca) in sa.iter().enumerate() {
+                    for (ib, cb) in sb.iter().enumerate() {
+                        let signature = ca.signature() | cb.signature();
+                        if signature.count_ones() as usize > params.cut_size {
+                            continue;
                         }
+                        let Some(leaves) =
+                            LeafBuf::merge(ca.leaves(), cb.leaves(), params.cut_size)
+                        else {
+                            continue;
+                        };
+                        proto_insert(
+                            &mut protos,
+                            ProtoCut {
+                                leaves,
+                                signature,
+                                src: [ia as u16, ib as u16, 0],
+                            },
+                        );
                     }
                 }
             }
             3 => {
-                for ca in fanin_sets[0].iter() {
-                    for cb in fanin_sets[1].iter() {
-                        let Some(ab) = Cut::merge_leaves(ca, cb, params.cut_size) else {
+                let sa = &sets[fanins[0].node().index()];
+                let sb = &sets[fanins[1].node().index()];
+                let sc = &sets[fanins[2].node().index()];
+                for (ia, ca) in sa.iter().enumerate() {
+                    for (ib, cb) in sb.iter().enumerate() {
+                        // O(1) popcount pre-check on the pair before the
+                        // linear merge; the partial union is then merged with
+                        // each third cut without any dummy-cut clone.
+                        let sig_ab = ca.signature() | cb.signature();
+                        if sig_ab.count_ones() as usize > params.cut_size {
+                            continue;
+                        }
+                        let Some(ab) = LeafBuf::merge(ca.leaves(), cb.leaves(), params.cut_size)
+                        else {
                             continue;
                         };
-                        let ab_cut = Cut::new(id, ab.clone(), TruthTable::zeros(ab.len()));
-                        for cc in fanin_sets[2].iter() {
-                            if let Some(leaves) =
-                                Cut::merge_leaves(&ab_cut, cc, params.cut_size)
-                            {
-                                let f = compose_function(
-                                    node.kind(),
-                                    &fanins,
-                                    &[ca, cb, cc],
-                                    &leaves,
-                                );
-                                set.insert(Cut::new(id, leaves, f));
+                        for (ic, cc) in sc.iter().enumerate() {
+                            let signature = sig_ab | cc.signature();
+                            if signature.count_ones() as usize > params.cut_size {
+                                continue;
                             }
+                            let Some(leaves) = LeafBuf::merge(&ab, cc.leaves(), params.cut_size)
+                            else {
+                                continue;
+                            };
+                            proto_insert(
+                                &mut protos,
+                                ProtoCut {
+                                    leaves,
+                                    signature,
+                                    src: [ia as u16, ib as u16, ic as u16],
+                                },
+                            );
                         }
                     }
                 }
             }
             _ => unreachable!("gates have 2 or 3 fanins"),
         }
-
-        // Priority: smaller cuts first (a simple, robust static order).
-        set.prioritize(params.cut_limit, |c| (c.size(), c.leaves().to_vec()));
+        // Priority: smaller cuts first (a simple, robust static order), then
+        // truncate to the per-node limit before any function is composed.
+        protos.sort_unstable_by(|a, b| {
+            a.leaves
+                .len()
+                .cmp(&b.leaves.len())
+                .then_with(|| a.leaves.as_slice().cmp(b.leaves.as_slice()))
+        });
+        protos.truncate(params.cut_limit);
+        // Compose functions for the survivors only.
+        for p in &protos {
+            let f = match fanins.len() {
+                2 => {
+                    let ca = sets[fanins[0].node().index()].get(p.src[0] as usize);
+                    let cb = sets[fanins[1].node().index()].get(p.src[1] as usize);
+                    let (ca, cb) = (ca.expect("source cut"), cb.expect("source cut"));
+                    compose_function(node.kind(), fanins, &[ca, cb], &p.leaves)
+                }
+                _ => {
+                    let ca = sets[fanins[0].node().index()].get(p.src[0] as usize);
+                    let cb = sets[fanins[1].node().index()].get(p.src[1] as usize);
+                    let cc = sets[fanins[2].node().index()].get(p.src[2] as usize);
+                    let (ca, cb, cc) = (
+                        ca.expect("source cut"),
+                        cb.expect("source cut"),
+                        cc.expect("source cut"),
+                    );
+                    compose_function(node.kind(), fanins, &[ca, cb, cc], &p.leaves)
+                }
+            };
+            final_cuts.push(Cut::new(id, &p.leaves, f));
+        }
         // The trivial cut is always available as a fallback.
-        set.push_unchecked(Cut::trivial(id));
-        sets[id.index()] = set;
+        final_cuts.push(Cut::trivial(id));
+        sets[id.index()] = CutSet::from_cuts(&final_cuts);
     }
     NetworkCuts {
         params: *params,
@@ -258,5 +384,19 @@ mod tests {
         let cuts = enumerate_cuts(&n, &CutParams::default());
         let sum: usize = n.node_ids().map(|id| cuts.of(id).len()).sum();
         assert_eq!(sum, cuts.total_cuts());
+    }
+
+    #[test]
+    fn stored_functions_are_inline_for_small_cuts() {
+        let (n, _, _) = adder_bit();
+        let cuts = enumerate_cuts(&n, &CutParams::default());
+        for id in n.gate_ids() {
+            for c in cuts.of(id).iter() {
+                assert!(
+                    c.function().is_inline(),
+                    "k ≤ 6 cut functions must be single-word"
+                );
+            }
+        }
     }
 }

@@ -31,6 +31,8 @@
 
 mod cut;
 mod enumeration;
+pub mod legacy;
 
-pub use cut::{Cut, CutSet};
+pub use cut::{Cut, CutSet, LeafBuf, MAX_CUT_SIZE};
 pub use enumeration::{enumerate_cuts, CutParams, NetworkCuts};
+pub use legacy::{legacy_enumerate_cuts, LegacyNetworkCuts};

@@ -81,7 +81,7 @@ pub fn read_aiger(text: &str) -> Result<Network, ParseAigerError> {
             .next()
             .ok_or_else(|| ParseAigerError::new("missing input line", 0))?;
         let lit: usize = parse(line.trim(), "input literal", idx + 1)?;
-        if lit % 2 != 0 || lit / 2 > max_var {
+        if !lit.is_multiple_of(2) || lit / 2 > max_var {
             return Err(ParseAigerError::new("invalid input literal", idx + 1));
         }
         let s = net.add_input();
@@ -114,7 +114,7 @@ pub fn read_aiger(text: &str) -> Result<Network, ParseAigerError> {
         let lhs: usize = parse(parts[0], "AND output literal", idx + 1)?;
         let rhs0: usize = parse(parts[1], "AND fanin literal", idx + 1)?;
         let rhs1: usize = parse(parts[2], "AND fanin literal", idx + 1)?;
-        if lhs % 2 != 0 || lhs / 2 > max_var {
+        if !lhs.is_multiple_of(2) || lhs / 2 > max_var {
             return Err(ParseAigerError::new("invalid AND output literal", idx + 1));
         }
         let resolve = |lit: usize, line: usize| -> Result<Signal, ParseAigerError> {

@@ -34,6 +34,7 @@ mod convert;
 mod gate;
 mod network;
 mod npn;
+mod rng;
 mod signal;
 mod simulate;
 mod stats;
@@ -44,6 +45,7 @@ pub use convert::{convert, convert_to_all};
 pub use gate::{GateKind, NetworkKind, Node};
 pub use network::Network;
 pub use npn::{npn_apply_inverse, npn_canonical, npn_semi_canonical, NpnCanonical, NpnTransform};
+pub use rng::Prng;
 pub use signal::{NodeId, Signal};
 pub use simulate::{
     cec, equivalent_exhaustive, equivalent_random, output_truth_tables, simulate, simulate_nodes, Equivalence,

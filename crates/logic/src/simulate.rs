@@ -5,8 +5,7 @@
 //! simulation (see `DESIGN.md`, substitution table).
 
 use crate::{GateKind, Network, TruthTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Prng;
 
 /// Outcome of an equivalence check.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -162,9 +161,9 @@ pub fn equivalent_random(a: &Network, b: &Network, words: usize, seed: u64) -> E
     if a.input_count() != b.input_count() || a.output_count() != b.output_count() {
         return Equivalence::InterfaceMismatch;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let patterns: Vec<Vec<u64>> = (0..a.input_count())
-        .map(|_| (0..words).map(|_| rng.gen()).collect())
+        .map(|_| (0..words).map(|_| rng.next_u64()).collect())
         .collect();
     let ra = simulate(a, &patterns);
     let rb = simulate(b, &patterns);

@@ -4,10 +4,36 @@
 //! vector of `u64` words. Tables are used for cut functions, Boolean matching
 //! against library cells, NPN classification and the resynthesis strategies of
 //! the MCH operator.
+//!
+//! # Memory layout
+//!
+//! Tables over **at most six variables** fit in `2^6 = 64` minterms and are
+//! stored *inline* as a single `u64` — no heap allocation is performed for
+//! construction, cloning or any Boolean operation on them. Tables over 7–16
+//! variables fall back to a heap-allocated word vector of `2^(n-6)` words.
+//! The representation is canonical: a table is inline **iff** `num_vars <= 6`,
+//! so equality, ordering and hashing never have to normalise between the two
+//! forms. This invariant is what lets the cut layer (`mch_cut`) enumerate
+//! `k <= 6` cuts with zero allocations per cut.
+//!
+//! Unused high bits of a partially-filled word are always kept at zero so
+//! words can be compared directly.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 const MAX_VARS: usize = 16;
+
+/// Number of variables that fit in the single inline word.
+pub const INLINE_VARS: usize = 6;
+
+/// Backing storage: one inline word for `num_vars <= 6`, a heap vector
+/// otherwise. The variant is fully determined by `num_vars`.
+#[derive(Clone)]
+enum Repr {
+    Small(u64),
+    Big(Vec<u64>),
+}
 
 /// A complete truth table over `num_vars` input variables.
 ///
@@ -26,23 +52,24 @@ const MAX_VARS: usize = 16;
 /// let and = a.and(&b);
 /// assert_eq!(and.count_ones(), 1);
 /// assert!(and.bit(3));
+/// assert!(and.is_inline()); // ≤ 6 vars: single u64, no heap allocation
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct TruthTable {
-    num_vars: usize,
-    words: Vec<u64>,
+    num_vars: u8,
+    repr: Repr,
 }
 
 fn words_for(num_vars: usize) -> usize {
-    if num_vars <= 6 {
+    if num_vars <= INLINE_VARS {
         1
     } else {
-        1 << (num_vars - 6)
+        1 << (num_vars - INLINE_VARS)
     }
 }
 
 fn mask_for(num_vars: usize) -> u64 {
-    if num_vars >= 6 {
+    if num_vars >= INLINE_VARS {
         u64::MAX
     } else {
         (1u64 << (1 << num_vars)) - 1
@@ -57,16 +84,21 @@ impl TruthTable {
     /// Panics if `num_vars > 16`.
     pub fn zeros(num_vars: usize) -> Self {
         assert!(num_vars <= MAX_VARS, "at most {MAX_VARS} variables supported");
+        let repr = if num_vars <= INLINE_VARS {
+            Repr::Small(0)
+        } else {
+            Repr::Big(vec![0; words_for(num_vars)])
+        };
         TruthTable {
-            num_vars,
-            words: vec![0; words_for(num_vars)],
+            num_vars: num_vars as u8,
+            repr,
         }
     }
 
     /// The constant-true function over `num_vars` variables.
     pub fn ones(num_vars: usize) -> Self {
         let mut t = TruthTable::zeros(num_vars);
-        for w in &mut t.words {
+        for w in t.words_mut() {
             *w = u64::MAX;
         }
         t.mask();
@@ -90,21 +122,14 @@ impl TruthTable {
     pub fn var(num_vars: usize, var: usize) -> Self {
         assert!(var < num_vars, "variable index out of range");
         let mut t = TruthTable::zeros(num_vars);
-        if var < 6 {
-            let pattern = match var {
-                0 => 0xAAAA_AAAA_AAAA_AAAA,
-                1 => 0xCCCC_CCCC_CCCC_CCCC,
-                2 => 0xF0F0_F0F0_F0F0_F0F0,
-                3 => 0xFF00_FF00_FF00_FF00,
-                4 => 0xFFFF_0000_FFFF_0000,
-                _ => 0xFFFF_FFFF_0000_0000,
-            };
-            for w in &mut t.words {
+        if var < INLINE_VARS {
+            let pattern = VAR_PATTERNS[var];
+            for w in t.words_mut() {
                 *w = pattern;
             }
         } else {
-            let period = 1usize << (var - 6);
-            for (i, w) in t.words.iter_mut().enumerate() {
+            let period = 1usize << (var - INLINE_VARS);
+            for (i, w) in t.words_mut().iter_mut().enumerate() {
                 if (i / period) % 2 == 1 {
                     *w = u64::MAX;
                 }
@@ -121,20 +146,29 @@ impl TruthTable {
     /// Panics if the number of words does not match `num_vars`.
     pub fn from_words(num_vars: usize, words: Vec<u64>) -> Self {
         assert_eq!(words.len(), words_for(num_vars), "wrong number of words");
-        let mut t = TruthTable { num_vars, words };
+        let repr = if num_vars <= INLINE_VARS {
+            Repr::Small(words[0])
+        } else {
+            Repr::Big(words)
+        };
+        let mut t = TruthTable {
+            num_vars: num_vars as u8,
+            repr,
+        };
         t.mask();
         t
     }
 
     /// Builds a table over `num_vars <= 6` variables from a single word.
     pub fn from_u64(num_vars: usize, bits: u64) -> Self {
-        assert!(num_vars <= 6, "from_u64 supports at most 6 variables");
-        let mut t = TruthTable {
-            num_vars,
-            words: vec![bits],
-        };
-        t.mask();
-        t
+        assert!(
+            num_vars <= INLINE_VARS,
+            "from_u64 supports at most {INLINE_VARS} variables"
+        );
+        TruthTable {
+            num_vars: num_vars as u8,
+            repr: Repr::Small(bits & mask_for(num_vars)),
+        }
     }
 
     /// Returns the single-word value of a table with at most six variables.
@@ -142,55 +176,86 @@ impl TruthTable {
     /// # Panics
     ///
     /// Panics if the table has more than six variables.
+    #[inline]
     pub fn as_u64(&self) -> u64 {
-        assert!(self.num_vars <= 6, "as_u64 requires at most 6 variables");
-        self.words[0]
+        match self.repr {
+            Repr::Small(w) => w,
+            Repr::Big(_) => panic!("as_u64 requires at most {INLINE_VARS} variables"),
+        }
+    }
+
+    /// Returns `true` if this table is stored inline (no heap allocation),
+    /// which holds exactly when `num_vars <= 6`.
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Small(_))
     }
 
     /// Number of input variables.
+    #[inline]
     pub fn num_vars(&self) -> usize {
-        self.num_vars
+        self.num_vars as usize
     }
 
     /// Number of minterms (`2^num_vars`).
+    #[inline]
     pub fn num_bits(&self) -> usize {
         1 << self.num_vars
     }
 
     /// The raw words backing this table.
+    #[inline]
     pub fn words(&self) -> &[u64] {
-        &self.words
+        match &self.repr {
+            Repr::Small(w) => std::slice::from_ref(w),
+            Repr::Big(v) => v,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.repr {
+            Repr::Small(w) => std::slice::from_mut(w),
+            Repr::Big(v) => v,
+        }
     }
 
     fn mask(&mut self) {
-        let m = mask_for(self.num_vars);
-        if self.num_vars < 6 {
-            self.words[0] &= m;
+        if let Repr::Small(w) = &mut self.repr {
+            *w &= mask_for(self.num_vars as usize);
         }
     }
 
     /// Value of the function for the minterm `index`.
+    #[inline]
     pub fn bit(&self, index: usize) -> bool {
-        (self.words[index >> 6] >> (index & 63)) & 1 == 1
+        debug_assert!(index < self.num_bits(), "minterm index out of range");
+        match &self.repr {
+            Repr::Small(w) => (w >> index) & 1 == 1,
+            Repr::Big(v) => (v[index >> 6] >> (index & 63)) & 1 == 1,
+        }
     }
 
     /// Sets the value of the function for the minterm `index`.
+    #[inline]
     pub fn set_bit(&mut self, index: usize, value: bool) {
+        debug_assert!(index < self.num_bits(), "minterm index out of range");
+        let word = &mut self.words_mut()[index >> 6];
         if value {
-            self.words[index >> 6] |= 1u64 << (index & 63);
+            *word |= 1u64 << (index & 63);
         } else {
-            self.words[index >> 6] &= !(1u64 << (index & 63));
+            *word &= !(1u64 << (index & 63));
         }
     }
 
     /// Number of minterms where the function is true.
     pub fn count_ones(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        self.words().iter().map(|w| w.count_ones()).sum()
     }
 
     /// Returns `true` if the function is constant false.
     pub fn is_const0(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.words().iter().all(|&w| w == 0)
     }
 
     /// Returns `true` if the function is constant true.
@@ -219,9 +284,15 @@ impl TruthTable {
 
     /// Complement of the function.
     pub fn not(&self) -> TruthTable {
-        let mut t = TruthTable {
-            num_vars: self.num_vars,
-            words: self.words.iter().map(|w| !w).collect(),
+        let mut t = match &self.repr {
+            Repr::Small(w) => TruthTable {
+                num_vars: self.num_vars,
+                repr: Repr::Small(!w),
+            },
+            Repr::Big(v) => TruthTable {
+                num_vars: self.num_vars,
+                repr: Repr::Big(v.iter().map(|w| !w).collect()),
+            },
         };
         t.mask();
         t
@@ -229,6 +300,14 @@ impl TruthTable {
 
     /// Three-input majority of three tables over the same variables.
     pub fn maj(a: &TruthTable, b: &TruthTable, c: &TruthTable) -> TruthTable {
+        if let (Repr::Small(x), Repr::Small(y), Repr::Small(z)) = (&a.repr, &b.repr, &c.repr) {
+            assert_eq!(a.num_vars, b.num_vars, "variable count mismatch");
+            assert_eq!(a.num_vars, c.num_vars, "variable count mismatch");
+            return TruthTable {
+                num_vars: a.num_vars,
+                repr: Repr::Small((x & y) | (x & z) | (y & z)),
+            };
+        }
         let ab = a.and(b);
         let ac = a.and(c);
         let bc = b.and(c);
@@ -242,14 +321,18 @@ impl TruthTable {
 
     fn zip(&self, other: &TruthTable, op: impl Fn(u64, u64) -> u64) -> TruthTable {
         assert_eq!(self.num_vars, other.num_vars, "variable count mismatch");
-        let mut t = TruthTable {
-            num_vars: self.num_vars,
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(&a, &b)| op(a, b))
-                .collect(),
+        let mut t = match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => TruthTable {
+                num_vars: self.num_vars,
+                repr: Repr::Small(op(*a, *b)),
+            },
+            (a, b) => {
+                let (a, b) = (repr_words(a), repr_words(b));
+                TruthTable {
+                    num_vars: self.num_vars,
+                    repr: Repr::Big(a.iter().zip(b).map(|(&x, &y)| op(x, y)).collect()),
+                }
+            }
         };
         t.mask();
         t
@@ -279,12 +362,17 @@ impl TruthTable {
 
     /// Returns `true` if the function does not depend on `var`.
     pub fn is_independent_of(&self, var: usize) -> bool {
+        if let Repr::Small(w) = self.repr {
+            // Inline fast path: compare the two cofactor halves directly.
+            let mask = VAR_PATTERNS[var] & mask_for(self.num_vars as usize);
+            return (w & mask) >> (1 << var) == w & (mask >> (1 << var));
+        }
         self.cofactor0(var) == self.cofactor1(var)
     }
 
     /// The set of variables the function actually depends on.
     pub fn support(&self) -> Vec<usize> {
-        (0..self.num_vars)
+        (0..self.num_vars())
             .filter(|&v| !self.is_independent_of(v))
             .collect()
     }
@@ -313,12 +401,18 @@ impl TruthTable {
     ///
     /// Panics if a placement index is out of range or duplicated.
     pub fn remap_vars(&self, new_num_vars: usize, placement: &[usize]) -> TruthTable {
-        assert_eq!(placement.len(), self.num_vars);
-        let mut seen = vec![false; new_num_vars];
+        assert_eq!(placement.len(), self.num_vars());
+        let mut seen = 0u32;
         for &p in placement {
             assert!(p < new_num_vars, "placement out of range");
-            assert!(!seen[p], "duplicate placement");
-            seen[p] = true;
+            assert!(seen & (1 << p) == 0, "duplicate placement");
+            seen |= 1 << p;
+        }
+        if new_num_vars <= INLINE_VARS {
+            return TruthTable::from_u64(
+                new_num_vars,
+                remap_u64(self.as_u64(), placement, new_num_vars),
+            );
         }
         let mut t = TruthTable::zeros(new_num_vars);
         for i in 0..t.num_bits() {
@@ -336,8 +430,8 @@ impl TruthTable {
     /// Permutes the input variables: new variable `i` reads old variable
     /// `perm[i]`.
     pub fn permute(&self, perm: &[usize]) -> TruthTable {
-        assert_eq!(perm.len(), self.num_vars);
-        let mut t = TruthTable::zeros(self.num_vars);
+        assert_eq!(perm.len(), self.num_vars());
+        let mut t = TruthTable::zeros(self.num_vars());
         for i in 0..self.num_bits() {
             let mut old = 0usize;
             for (new_var, &old_var) in perm.iter().enumerate() {
@@ -352,7 +446,18 @@ impl TruthTable {
 
     /// Complements input variable `var`.
     pub fn flip_var(&self, var: usize) -> TruthTable {
-        let mut t = TruthTable::zeros(self.num_vars);
+        if let Repr::Small(w) = self.repr {
+            let shift = 1usize << var;
+            let mask = VAR_PATTERNS[var];
+            let flipped = ((w & mask) >> shift) | ((w & !mask) << shift);
+            let mut t = TruthTable {
+                num_vars: self.num_vars,
+                repr: Repr::Small(flipped),
+            };
+            t.mask();
+            return t;
+        }
+        let mut t = TruthTable::zeros(self.num_vars());
         for i in 0..self.num_bits() {
             t.set_bit(i, self.bit(i ^ (1 << var)));
         }
@@ -363,7 +468,7 @@ impl TruthTable {
     /// complemented) and optionally complements the output.
     pub fn transform(&self, perm: &[usize], input_neg: u32, output_neg: bool) -> TruthTable {
         let mut t = self.permute(perm);
-        for v in 0..self.num_vars {
+        for v in 0..self.num_vars() {
             if input_neg & (1 << v) != 0 {
                 t = t.flip_var(v);
             }
@@ -389,6 +494,69 @@ impl TruthTable {
             s.push(char::from_digit(nibble as u32, 16).expect("nibble < 16"));
         }
         s
+    }
+}
+
+/// Projection patterns for the six inline variables: `VAR_PATTERNS[v]` has bit
+/// `i` set iff bit `v` of `i` is set.
+const VAR_PATTERNS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+fn repr_words(r: &Repr) -> &[u64] {
+    match r {
+        Repr::Small(w) => std::slice::from_ref(w),
+        Repr::Big(v) => v,
+    }
+}
+
+/// Remaps a single-word table onto `new_num_vars <= 6` variables, sending old
+/// variable `i` to `placement[i]`. Used by the allocation-free cut hot path.
+#[inline]
+pub(crate) fn remap_u64(table: u64, placement: &[usize], new_num_vars: usize) -> u64 {
+    debug_assert!(new_num_vars <= INLINE_VARS);
+    let mut out = 0u64;
+    for m in 0..(1usize << new_num_vars) {
+        let mut old = 0usize;
+        for (ov, &nv) in placement.iter().enumerate() {
+            old |= (m >> nv & 1) << ov;
+        }
+        out |= ((table >> old) & 1) << m;
+    }
+    out
+}
+
+impl PartialEq for TruthTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_vars == other.num_vars && self.words() == other.words()
+    }
+}
+
+impl Eq for TruthTable {}
+
+impl Hash for TruthTable {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.num_vars.hash(state);
+        self.words().hash(state);
+    }
+}
+
+impl PartialOrd for TruthTable {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TruthTable {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.num_vars
+            .cmp(&other.num_vars)
+            .then_with(|| self.words().cmp(other.words()))
     }
 }
 
@@ -446,6 +614,19 @@ mod tests {
     }
 
     #[test]
+    fn inline_representation_boundary() {
+        assert!(TruthTable::zeros(0).is_inline());
+        assert!(TruthTable::zeros(6).is_inline());
+        assert!(!TruthTable::zeros(7).is_inline());
+        assert_eq!(TruthTable::zeros(7).words().len(), 2);
+        // Boolean ops preserve the representation.
+        let a = TruthTable::var(6, 5);
+        assert!(a.and(&a.not()).is_inline());
+        let b = TruthTable::var(7, 6);
+        assert!(!b.xor(&b).is_inline());
+    }
+
+    #[test]
     fn cofactors_and_support() {
         let a = TruthTable::var(3, 0);
         let b = TruthTable::var(3, 1);
@@ -454,6 +635,24 @@ mod tests {
         assert_eq!(f.support(), vec![0, 1]);
         assert_eq!(f.cofactor1(0), b);
         assert!(f.cofactor0(0).is_const0());
+    }
+
+    #[test]
+    fn independence_matches_cofactor_definition_inline() {
+        // Cross-check the inline fast path against the generic definition.
+        for seed in 0..50u64 {
+            let w = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+            for vars in 1..=6 {
+                let t = TruthTable::from_u64(vars, w);
+                for v in 0..vars {
+                    assert_eq!(
+                        t.is_independent_of(v),
+                        t.cofactor0(v) == t.cofactor1(v),
+                        "vars={vars} v={v} w={w:#x}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -477,6 +676,22 @@ mod tests {
     }
 
     #[test]
+    fn flip_var_inline_matches_generic() {
+        for vars in 1..=6usize {
+            let w = 0xDEAD_BEEF_CAFE_F00Du64;
+            let t = TruthTable::from_u64(vars, w);
+            for v in 0..vars {
+                let fast = t.flip_var(v);
+                let mut slow = TruthTable::zeros(vars);
+                for i in 0..t.num_bits() {
+                    slow.set_bit(i, t.bit(i ^ (1 << v)));
+                }
+                assert_eq!(fast, slow, "vars={vars} v={v}");
+            }
+        }
+    }
+
+    #[test]
     fn remap_extends_variable_count() {
         let a = TruthTable::var(2, 0);
         let b = TruthTable::var(2, 1);
@@ -485,6 +700,15 @@ mod tests {
         let a4 = TruthTable::var(4, 0);
         let b4 = TruthTable::var(4, 3);
         assert_eq!(g, a4.and(&b4));
+    }
+
+    #[test]
+    fn remap_into_wide_table() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let f = a.xor(&b);
+        let g = f.remap_vars(8, &[2, 7]);
+        assert_eq!(g, TruthTable::var(8, 2).xor(&TruthTable::var(8, 7)));
     }
 
     #[test]
@@ -515,5 +739,13 @@ mod tests {
             let expect = if sel { (i >> 1) & 1 != 0 } else { (i >> 2) & 1 != 0 };
             assert_eq!(f.bit(i), expect);
         }
+    }
+
+    #[test]
+    fn ordering_is_consistent_across_representations() {
+        let small = TruthTable::from_u64(6, 5);
+        let big = TruthTable::zeros(7);
+        assert!(small < big, "fewer variables order first");
+        assert_eq!(small.cmp(&small.clone()), std::cmp::Ordering::Equal);
     }
 }

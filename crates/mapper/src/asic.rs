@@ -129,12 +129,12 @@ pub fn map_asic(
                 let area = library.cell(m.cell()).area() + m.inverter_count() as f64 * inv_area;
                 let delay = library.cell(m.cell()).delay()
                     + if m.inverter_count() > 0 { inv_delay } else { 0.0 };
-                if best_area.map_or(true, |b| {
+                if best_area.is_none_or(|b| {
                     area < library.cell(b.cell()).area() + b.inverter_count() as f64 * inv_area
                 }) {
                     best_area = Some(m);
                 }
-                if best_delay.map_or(true, |b| {
+                if best_delay.is_none_or(|b| {
                     delay
                         < library.cell(b.cell()).delay()
                             + if b.inverter_count() > 0 { inv_delay } else { 0.0 }

@@ -72,7 +72,7 @@ pub(crate) fn remap_choice_cut(
     if phase {
         function = function.not();
     }
-    Some(Cut::new(repr, unique, function))
+    Some(Cut::new(repr, &unique, function))
 }
 
 /// Enumerates cuts over the mixed network and transfers every choice node's
@@ -111,7 +111,7 @@ pub(crate) fn prepare_cuts(
         }
         // Keep the set bounded (the paper's line 8) while retaining room for
         // both structural and inherited cuts.
-        set.prioritize(cut_limit * 2, |c| (c.size(), c.leaves().to_vec()));
+        set.prioritize_default(cut_limit * 2);
     }
     cuts
 }

@@ -81,7 +81,7 @@ fn rewrite_with(network: &Network, strategy: SynthesisStrategy, cut_size: usize)
                 mch_choice::synthesize(cut.function(), network.kind(), strategy);
             let cost = candidate.gate_count();
             if cost < gain_bound
-                && best.as_ref().map_or(true, |(c, _, _)| cost < *c)
+                && best.as_ref().is_none_or(|(c, _, _)| cost < *c)
             {
                 best = Some((cost, cut.leaves().to_vec(), cut.function().clone()));
             }
@@ -96,7 +96,7 @@ fn rewrite_with(network: &Network, strategy: SynthesisStrategy, cut_size: usize)
                 {
                     let candidate = mch_choice::synthesize(&f, network.kind(), strategy);
                     let cost = candidate.gate_count();
-                    if cost < cone.size() && best.as_ref().map_or(true, |(c, _, _)| cost < *c) {
+                    if cost < cone.size() && best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
                         best = Some((cost, leaves, f));
                     }
                 }

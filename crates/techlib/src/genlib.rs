@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn parses_small_library() {
         let text = "\n# comment\nGATE INV 0.05 10 1 !a\nGATE AOI21 0.11 20 3 !((a&b)|c)\n";
-        let lib = parse_genlib("t", &text).unwrap();
+        let lib = parse_genlib("t", text).unwrap();
         assert_eq!(lib.len(), 2);
         assert_eq!(lib.cell(lib.inverter()).name(), "INV");
         let a = TruthTable::var(3, 0);

@@ -1,68 +1,186 @@
 //! Property-based tests over randomly generated networks: every major
 //! transformation in the workspace must preserve the Boolean function of every
-//! primary output.
+//! primary output, and every enumerated cut must carry the correct function.
+//!
+//! The workspace is dependency-free, so instead of an external property
+//! framework the tests drive a deterministic seeded generator through a fixed
+//! number of cases; failures print the offending generator parameters so a
+//! case can be replayed as a unit test.
 
 use mch::benchmarks::random_logic;
 use mch::choice::{build_mch, ChoiceNetwork, MchParams};
-use mch::logic::{cec, convert, NetworkKind};
+use mch::cut::{enumerate_cuts, legacy_enumerate_cuts, CutParams};
+use mch::logic::{cec, convert, simulate_nodes, Network, NetworkKind, NodeId, Prng};
 use mch::mapper::{map_asic, map_lut, AsicMapParams, LutMapParams, MappingObjective};
 use mch::opt::{balance, compress2rs_like, graph_map, refactor, rewrite};
 use mch::techlib::{asap7_lite, LutLibrary};
-use proptest::prelude::*;
 
-fn arbitrary_network() -> impl Strategy<Value = mch::logic::Network> {
-    (2usize..9, 1usize..6, 10usize..120, any::<u64>()).prop_map(
-        |(inputs, outputs, gates, seed)| random_logic("prop", inputs, outputs, gates, seed),
-    )
+const CASES: usize = 24;
+
+/// Generates the `i`-th random test network, mirroring the parameter ranges
+/// the previous proptest strategy drew from.
+fn arbitrary_network(i: usize) -> Network {
+    let mut rng = Prng::seed_from_u64(0xA11C_E000 + i as u64);
+    let inputs = rng.gen_range(2..9);
+    let outputs = rng.gen_range(1..6);
+    let gates = rng.gen_range(10..120);
+    let seed = rng.next_u64();
+    random_logic("prop", inputs, outputs, gates, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn for_each_case(mut f: impl FnMut(usize, Network)) {
+    for i in 0..CASES {
+        f(i, arbitrary_network(i));
+    }
+}
 
-    #[test]
-    fn conversion_preserves_function(net in arbitrary_network(), kind_idx in 0usize..4) {
-        let target = NetworkKind::homogeneous()[kind_idx];
+#[test]
+fn conversion_preserves_function() {
+    for_each_case(|i, net| {
+        let target = NetworkKind::homogeneous()[i % 4];
         let converted = convert(&net, target);
-        prop_assert!(cec(&net, &converted).holds());
-    }
+        assert!(cec(&net, &converted).holds(), "case {i} → {target:?}");
+    });
+}
 
-    #[test]
-    fn optimization_passes_preserve_function(net in arbitrary_network()) {
-        prop_assert!(cec(&net, &balance(&net)).holds());
-        prop_assert!(cec(&net, &rewrite(&net)).holds());
-        prop_assert!(cec(&net, &refactor(&net)).holds());
-        prop_assert!(cec(&net, &compress2rs_like(&net, 2)).holds());
-    }
+#[test]
+fn optimization_passes_preserve_function() {
+    for_each_case(|i, net| {
+        assert!(cec(&net, &balance(&net)).holds(), "balance, case {i}");
+        assert!(cec(&net, &rewrite(&net)).holds(), "rewrite, case {i}");
+        assert!(cec(&net, &refactor(&net)).holds(), "refactor, case {i}");
+        assert!(
+            cec(&net, &compress2rs_like(&net, 2)).holds(),
+            "compress2rs, case {i}"
+        );
+    });
+}
 
-    #[test]
-    fn mch_choices_are_functionally_consistent(net in arbitrary_network()) {
+#[test]
+fn mch_choices_are_functionally_consistent() {
+    for_each_case(|i, net| {
         let mch = build_mch(&net, &MchParams::area_oriented());
-        prop_assert!(mch.verify(16, 7).is_empty());
-        prop_assert!(cec(&net, &mch.network().cleanup()).holds());
-    }
+        assert!(mch.verify(16, 7).is_empty(), "case {i}");
+        assert!(cec(&net, &mch.network().cleanup()).holds(), "case {i}");
+    });
+}
 
-    #[test]
-    fn lut_mapping_preserves_function(net in arbitrary_network()) {
+#[test]
+fn lut_mapping_preserves_function() {
+    for_each_case(|i, net| {
         let mapped = map_lut(
             &ChoiceNetwork::from_network(&net),
             &LutLibrary::k6(),
             &LutMapParams::new(MappingObjective::Area),
         );
-        prop_assert!(cec(&net, &mapped.to_network()).holds());
-    }
+        assert!(cec(&net, &mapped.to_network()).holds(), "case {i}");
+    });
+}
 
-    #[test]
-    fn choice_aware_asic_mapping_preserves_function(net in arbitrary_network()) {
+#[test]
+fn choice_aware_asic_mapping_preserves_function() {
+    for_each_case(|i, net| {
         let library = asap7_lite();
         let mch = build_mch(&net, &MchParams::balanced());
         let mapped = map_asic(&mch, &library, &AsicMapParams::new(MappingObjective::Balanced));
-        prop_assert!(cec(&net, &mapped.to_network(&library)).holds());
-    }
+        assert!(cec(&net, &mapped.to_network(&library)).holds(), "case {i}");
+    });
+}
 
-    #[test]
-    fn graph_mapping_preserves_function(net in arbitrary_network(), kind_idx in 0usize..4) {
-        let target = NetworkKind::homogeneous()[kind_idx];
+#[test]
+fn graph_mapping_preserves_function() {
+    for_each_case(|i, net| {
+        let target = NetworkKind::homogeneous()[i % 4];
         let mapped = graph_map(&net, target, MappingObjective::Area);
-        prop_assert!(cec(&net, &mapped).holds());
+        assert!(cec(&net, &mapped).holds(), "case {i}");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Cut-enumeration properties (inline representation vs. reference semantics).
+// ---------------------------------------------------------------------------
+
+/// Simulates the network once per node with exhaustive patterns over its cut
+/// leaves and checks that the stored cut function agrees with the simulated
+/// cone function for every minterm.
+fn check_cut_functions(net: &Network, params: &CutParams, label: &str) {
+    let cuts = enumerate_cuts(net, params);
+    // One word of exhaustive patterns per input is enough because every test
+    // network has < 2^6-ish inputs only at the cut level; instead simulate
+    // node values with random patterns and evaluate the cut function on the
+    // leaves' simulated values, which must reproduce the root's values.
+    let mut rng = Prng::seed_from_u64(0xC0DE);
+    let words = 4usize;
+    let patterns: Vec<Vec<u64>> = (0..net.input_count())
+        .map(|_| (0..words).map(|_| rng.next_u64()).collect())
+        .collect();
+    let values = simulate_nodes(net, &patterns);
+    for id in net.gate_ids() {
+        for cut in cuts.of(id).iter() {
+            assert_eq!(cut.root(), id, "{label}: cut rooted elsewhere");
+            assert!(cut.size() <= params.cut_size, "{label}: oversized cut");
+            let leaves: Vec<NodeId> = cut.leaves().to_vec();
+            assert!(
+                leaves.windows(2).all(|w| w[0] < w[1]),
+                "{label}: unsorted leaves at {id}"
+            );
+            // Evaluate the cut function bit-parallel over the simulated leaf
+            // values; must equal the root's simulated values.
+            for (w, &root_word) in values[id.index()].iter().enumerate() {
+                for b in 0..64 {
+                    let mut minterm = 0usize;
+                    for (v, leaf) in leaves.iter().enumerate() {
+                        if values[leaf.index()][w] >> b & 1 == 1 {
+                            minterm |= 1 << v;
+                        }
+                    }
+                    let expect = root_word >> b & 1 == 1;
+                    assert_eq!(
+                        cut.function().bit(minterm),
+                        expect,
+                        "{label}: wrong function at node {id}, cut {cut}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cut_functions_match_simulation_on_random_networks() {
+    for kind in [NetworkKind::Aig, NetworkKind::Xag, NetworkKind::Mig] {
+        for i in 0..8 {
+            let net = convert(&arbitrary_network(i), kind);
+            check_cut_functions(&net, &CutParams::new(4, 8), &format!("{kind:?}/k4"));
+            check_cut_functions(&net, &CutParams::new(6, 8), &format!("{kind:?}/k6"));
+        }
+    }
+}
+
+#[test]
+fn inline_enumeration_matches_legacy_semantics() {
+    // k = 7 exercises the heap-table (`Big`) representation alongside the
+    // default single-word k = 6 configuration.
+    let configs = [CutParams::new(6, 8), CutParams::new(7, 4)];
+    for kind in [NetworkKind::Aig, NetworkKind::Xag, NetworkKind::Mig] {
+        for i in 0..8 {
+            let net = convert(&arbitrary_network(i), kind);
+            let params = configs[i % configs.len()];
+            let new = enumerate_cuts(&net, &params);
+            let old = legacy_enumerate_cuts(&net, &params);
+            for id in net.node_ids() {
+                let a = new.of(id);
+                let b = old.of(id);
+                assert_eq!(a.len(), b.len(), "cut count differs at {id} ({kind:?})");
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.leaves(), y.leaves(), "leaves differ at {id}");
+                    assert_eq!(
+                        x.function().words(),
+                        y.function().words(),
+                        "function differs at {id}"
+                    );
+                }
+            }
+        }
     }
 }
