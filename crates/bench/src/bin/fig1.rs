@@ -1,6 +1,6 @@
 //! Regenerates Figure 1: mapping the "Max" circuit in each representation.
 //!
-//! Run with `cargo run -p mch-bench --bin fig1 --release`.
+//! Run with `cargo run -p mch_bench --bin fig1 --release`.
 
 use mch_bench::printing::print_fig1;
 use mch_bench::run_fig1;

@@ -1,7 +1,7 @@
 //! Regenerates Figure 2: the `(a+b) > 0` demo through the traditional, DCH
 //! and MCH flows.
 //!
-//! Run with `cargo run -p mch-bench --bin fig2 --release`.
+//! Run with `cargo run -p mch_bench --bin fig2 --release`.
 
 use mch_bench::printing::print_fig2;
 use mch_bench::run_fig2;

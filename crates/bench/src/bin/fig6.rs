@@ -1,7 +1,7 @@
 //! Regenerates Figure 6: MCH-based graph-mapping optimization versus the
 //! iterated single-representation baseline.
 //!
-//! Run with `cargo run -p mch-bench --bin fig6 --release`.
+//! Run with `cargo run -p mch_bench --bin fig6 --release`.
 //! Pass `--quick` to restrict the run to the smaller circuits.
 
 use mch_bench::printing::print_fig6;

@@ -1,7 +1,7 @@
 //! Regenerates Table I: ASIC technology mapping of the EPFL-like suite across
 //! the six flows (baseline, DCH×2, MCH×3).
 //!
-//! Run with `cargo run -p mch-bench --bin table1 --release`.
+//! Run with `cargo run -p mch_bench --bin table1 --release`.
 //! Pass `--quick` to restrict the run to the smaller circuits.
 
 use mch_bench::experiments::quick_suite;

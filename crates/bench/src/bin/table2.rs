@@ -1,7 +1,7 @@
 //! Regenerates Table II: the EPFL best-results 6-LUT challenge circuits
 //! mapped with the MCH-based area-focused LUT mapper.
 //!
-//! Run with `cargo run -p mch-bench --bin table2 --release`.
+//! Run with `cargo run -p mch_bench --bin table2 --release`.
 
 use mch_bench::experiments::table2_benchmark_names;
 use mch_bench::printing::print_table2;

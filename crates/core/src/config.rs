@@ -1,6 +1,7 @@
 //! Flow configurations matching the paper's experiment columns.
 
 use mch_choice::MchParams;
+use mch_cut::CutCost;
 use mch_logic::NetworkKind;
 use mch_mapper::MappingObjective;
 
@@ -15,6 +16,11 @@ pub struct MchConfig {
     pub name: String,
     /// The mapping objective handed to the mapper.
     pub objective: MappingObjective,
+    /// How enumerated cuts are ranked before the per-node cut limit truncates
+    /// them: depth-first, area-first, hybrid, or the static structural order
+    /// (see [`CutCost`]). The presets pick the ranking that matches their
+    /// objective; override it to study the ranking in isolation.
+    pub cut_ranking: CutCost,
     /// Parameters of the MCH construction (Algorithm 1).
     pub mch: MchParams,
     /// Rounds of the `compress2rs`-like pre-optimization applied before
@@ -32,6 +38,7 @@ impl MchConfig {
         MchConfig {
             name: "MCH balanced".into(),
             objective: MappingObjective::Balanced,
+            cut_ranking: MappingObjective::Balanced.default_ranking(),
             mch: MchParams::balanced(),
             pre_optimization_rounds: 2,
             mix_optimized_snapshots: true,
@@ -43,6 +50,7 @@ impl MchConfig {
         MchConfig {
             name: "MCH Delay-oriented".into(),
             objective: MappingObjective::Delay,
+            cut_ranking: MappingObjective::Delay.default_ranking(),
             mch: MchParams::delay_oriented(),
             pre_optimization_rounds: 2,
             mix_optimized_snapshots: true,
@@ -54,6 +62,7 @@ impl MchConfig {
         MchConfig {
             name: "MCH Area-oriented".into(),
             objective: MappingObjective::Area,
+            cut_ranking: MappingObjective::Area.default_ranking(),
             mch: MchParams::area_oriented(),
             pre_optimization_rounds: 2,
             mix_optimized_snapshots: true,
@@ -66,6 +75,7 @@ impl MchConfig {
         MchConfig {
             name: "MCH 6-LUT area".into(),
             objective: MappingObjective::Area,
+            cut_ranking: MappingObjective::Area.default_ranking(),
             mch: MchParams::mixed(&[NetworkKind::Xmg]),
             pre_optimization_rounds: 0,
             mix_optimized_snapshots: true,

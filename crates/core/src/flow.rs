@@ -139,6 +139,9 @@ pub fn asic_flow_dch(
 
 /// MCH ASIC flow: mixed structural choices evaluated by the choice-aware
 /// mapper (the "MCH balanced / Delay-oriented / Area-oriented" columns).
+///
+/// The configured [`MchConfig::cut_ranking`] decides which cuts survive the
+/// per-node cut limit before the mapper's dynamic programming runs.
 pub fn asic_flow_mch(
     network: &Network,
     library: &Library,
@@ -146,7 +149,8 @@ pub fn asic_flow_mch(
 ) -> AsicFlowResult {
     let start = Instant::now();
     let choices = build_flow_choices(network, config);
-    let netlist = map_asic(&choices, library, &AsicMapParams::new(config.objective));
+    let params = AsicMapParams::new(config.objective).with_ranking(config.cut_ranking);
+    let netlist = map_asic(&choices, library, &params);
     finish_asic(config.name.clone(), network, netlist, library, start)
 }
 
@@ -167,10 +171,14 @@ pub fn lut_flow_baseline(
 
 /// MCH FPGA flow: K-LUT mapping over a mixed choice network (the Table-II
 /// configuration: AIG + XMG, area-focused, no other optimization).
+///
+/// The configured [`MchConfig::cut_ranking`] decides which cuts survive the
+/// per-node cut limit before the mapper's dynamic programming runs.
 pub fn lut_flow_mch(network: &Network, lut: &LutLibrary, config: &MchConfig) -> LutFlowResult {
     let start = Instant::now();
     let choices = build_flow_choices(network, config);
-    let netlist = map_lut(&choices, lut, &LutMapParams::new(config.objective));
+    let params = LutMapParams::new(config.objective).with_ranking(config.cut_ranking);
+    let netlist = map_lut(&choices, lut, &params);
     finish_lut(config.name.clone(), network, netlist, start)
 }
 

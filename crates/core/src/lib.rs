@@ -44,5 +44,6 @@ pub use mch_techlib as techlib;
 
 // Convenience re-exports of the most frequently used types.
 pub use mch_choice::{build_mch, ChoiceNetwork, MchParams};
+pub use mch_cut::CutCost;
 pub use mch_logic::{Network, NetworkKind};
 pub use mch_mapper::MappingObjective;

@@ -19,10 +19,156 @@
 //! the return type of [`Cut::merge_leaves`].
 
 use mch_logic::{NodeId, TruthTable};
+use std::cmp::Ordering;
 use std::fmt;
 
 /// Hard upper bound on cut size; `CutParams::new` asserts `k <= 8`.
 pub const MAX_CUT_SIZE: usize = 8;
+
+/// Mapping-oriented cost estimates of one cut, computed incrementally during
+/// enumeration (see [`enumerate_cuts`](crate::enumerate_cuts)).
+///
+/// * `arrival` — unit-delay arrival time of the cut root through this cut:
+///   `1 + max(leaf arrivals)`, with primary inputs and the constant node at 0.
+///   This is the depth the LUT mapper would realise if it covered the root
+///   with this cut.
+/// * `flow` — ABC-style *area flow*: `1 + Σ flow(leaf) / fanout(leaf)`, a
+///   sharing-aware estimate of the area charged to this cut. Fanout counts
+///   are estimated over the subject graph before mapping.
+///
+/// Costs are estimates used for *ranking* cuts when the per-node `cut_limit`
+/// truncates the set; the mappers still run their own exact arrival/area-flow
+/// dynamic programming over the surviving cuts.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct CutCosts {
+    /// Unit-delay arrival of the root through this cut.
+    pub arrival: u32,
+    /// Area flow (sharing-aware area estimate) of this cut.
+    pub flow: f32,
+}
+
+impl CutCosts {
+    /// Zero cost: used for primary inputs, the constant node and as the
+    /// placeholder before enumeration fills in real estimates.
+    pub const ZERO: CutCosts = CutCosts {
+        arrival: 0,
+        flow: 0.0,
+    };
+
+    /// The depth-first cost key: arrival, ties broken by area flow. Shared by
+    /// the [`Cut`] and enumeration-time proto-cut comparators so the two
+    /// ranking paths can never drift apart.
+    #[inline]
+    pub(crate) fn cmp_depth(&self, other: &CutCosts) -> Ordering {
+        self.arrival
+            .cmp(&other.arrival)
+            .then_with(|| self.flow.total_cmp(&other.flow))
+    }
+
+    /// The area-first cost key: area flow, ties broken by arrival.
+    #[inline]
+    pub(crate) fn cmp_area(&self, other: &CutCosts) -> Ordering {
+        self.flow
+            .total_cmp(&other.flow)
+            .then_with(|| self.arrival.cmp(&other.arrival))
+    }
+}
+
+/// Per-cut-size implementation cost estimates used by the cost-aware cut
+/// rankings: `delay[k]` / `area[k]` approximate the delay and area of
+/// covering a `k`-leaf cut with one technology element.
+///
+/// For K-LUT mapping the [`unit`](CutCostModel::unit) model is *exact*
+/// (every cut is one LUT level of one LUT). For ASIC mapping the model is
+/// derived from the cell library (cheapest cell per input count), so the
+/// depth ranking reflects that wide cells are slower than narrow ones.
+/// Index 0 covers degenerate constant cuts.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct CutCostModel {
+    /// Estimated delay of implementing a `k`-leaf cut, indexed by `k`.
+    pub delay: [u32; MAX_CUT_SIZE + 1],
+    /// Estimated area of implementing a `k`-leaf cut, indexed by `k`.
+    pub area: [f32; MAX_CUT_SIZE + 1],
+}
+
+impl CutCostModel {
+    /// The unit model: every cut costs one delay unit and one area unit.
+    /// Exact for K-LUT mapping; the default for plain enumeration.
+    pub fn unit() -> Self {
+        CutCostModel {
+            delay: [1; MAX_CUT_SIZE + 1],
+            area: [1.0; MAX_CUT_SIZE + 1],
+        }
+    }
+}
+
+impl Default for CutCostModel {
+    fn default() -> Self {
+        CutCostModel::unit()
+    }
+}
+
+/// How a cut set is ranked before truncation to the per-node cut limit.
+///
+/// The ranking decides *which* cuts a mapper ever sees: once `cut_limit`
+/// truncates a node's cut set, cuts ranked below the limit are gone for good.
+/// The static [`Structural`](CutCost::Structural) order keeps the smallest
+/// cuts; the cost-aware orders use the [`CutCosts`] estimates so the
+/// delay-best and area-best cuts survive truncation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum CutCost {
+    /// The legacy static key `(size, leaves)`: smaller cuts first, ties broken
+    /// lexicographically. Matches the pre-cost-aware behaviour bit for bit.
+    #[default]
+    Structural,
+    /// Depth-first: `(arrival, flow, size, leaves)` — the unit-delay best cut
+    /// is always ranked (and therefore kept) first.
+    Depth,
+    /// Area-first: `(flow, arrival, size, leaves)` — minimum-area-flow cuts
+    /// survive truncation first.
+    Area,
+    /// Mixed ranking: half of the kept cuts are the depth-best, a quarter are
+    /// the best area-flow cuts among the rest, and the remaining slots go to
+    /// the structurally smallest cuts — so the mapper's delay pass, its
+    /// area-recovery passes, and Boolean matching (which prefers small
+    /// support) each see their preferred candidates at the same `cut_limit`.
+    Hybrid,
+}
+
+/// Orders the first `limit` elements of `items` by the hybrid policy: a
+/// depth-sorted prefix (`ceil(limit / 2)` slots), then the best remaining
+/// elements under the area order (`ceil(limit / 4)` slots), then the
+/// structurally smallest of the rest. Elements past `limit` are left in
+/// arbitrary order — callers truncate anyway.
+pub(crate) fn hybrid_select<T>(
+    items: &mut [T],
+    limit: usize,
+    mut depth_cmp: impl FnMut(&T, &T) -> Ordering,
+    mut area_cmp: impl FnMut(&T, &T) -> Ordering,
+    mut structural_cmp: impl FnMut(&T, &T) -> Ordering,
+) {
+    items.sort_unstable_by(&mut depth_cmp);
+    if items.len() <= limit {
+        return;
+    }
+    let depth_slots = limit.div_ceil(2);
+    let area_slots = limit.div_ceil(4).min(limit - depth_slots);
+    let mut select = |slot: usize, cmp: &mut dyn FnMut(&T, &T) -> Ordering| {
+        let mut best = slot;
+        for i in slot + 1..items.len() {
+            if cmp(&items[i], &items[best]) == Ordering::Less {
+                best = i;
+            }
+        }
+        items.swap(slot, best);
+    };
+    for slot in depth_slots..depth_slots + area_slots {
+        select(slot, &mut area_cmp);
+    }
+    for slot in depth_slots + area_slots..limit {
+        select(slot, &mut structural_cmp);
+    }
+}
 
 /// A fixed-capacity, stack-allocated sorted leaf buffer.
 ///
@@ -144,6 +290,7 @@ pub struct Cut {
     leaves: [NodeId; MAX_CUT_SIZE],
     signature: u64,
     function: TruthTable,
+    costs: CutCosts,
 }
 
 /// 64-bit leaf-set signature: bit `l.index() % 64` per leaf.
@@ -199,7 +346,15 @@ impl Cut {
             leaves: inline,
             signature: signature_of(leaves),
             function,
+            costs: CutCosts::ZERO,
         }
+    }
+
+    /// Creates a cut with explicit mapping-cost estimates attached.
+    pub fn with_costs(root: NodeId, leaves: &[NodeId], function: TruthTable, costs: CutCosts) -> Self {
+        let mut cut = Cut::new(root, leaves, function);
+        cut.costs = costs;
+        cut
     }
 
     /// The trivial cut `{node}` whose function is the projection of its leaf.
@@ -243,6 +398,31 @@ impl Cut {
         &self.function
     }
 
+    /// The mapping-cost estimates of this cut (see [`CutCosts`]).
+    #[inline]
+    pub fn costs(&self) -> CutCosts {
+        self.costs
+    }
+
+    /// Unit-delay arrival of the root through this cut.
+    #[inline]
+    pub fn arrival(&self) -> u32 {
+        self.costs.arrival
+    }
+
+    /// Area flow (sharing-aware area estimate) of this cut.
+    #[inline]
+    pub fn area_flow(&self) -> f32 {
+        self.costs.flow
+    }
+
+    /// Overwrites the mapping-cost estimates (used when a cut is transferred
+    /// onto another node and its costs must be recomputed in that context).
+    #[inline]
+    pub fn set_costs(&mut self, costs: CutCosts) {
+        self.costs = costs;
+    }
+
     /// Returns a copy of this cut re-rooted at `root` with the function
     /// optionally complemented (used when transferring cuts from choice nodes
     /// to their representatives).
@@ -257,7 +437,34 @@ impl Cut {
             } else {
                 self.function.clone()
             },
+            costs: self.costs,
         }
+    }
+
+    /// Compares two cuts by the `(arrival, flow, size, leaves)` depth-first
+    /// key.
+    #[inline]
+    pub(crate) fn cmp_depth(&self, other: &Cut) -> Ordering {
+        self.costs
+            .cmp_depth(&other.costs)
+            .then_with(|| self.cmp_structural(other))
+    }
+
+    /// Compares two cuts by the `(flow, arrival, size, leaves)` area-first
+    /// key.
+    #[inline]
+    pub(crate) fn cmp_area(&self, other: &Cut) -> Ordering {
+        self.costs
+            .cmp_area(&other.costs)
+            .then_with(|| self.cmp_structural(other))
+    }
+
+    /// Compares two cuts by the static `(size, leaves)` key.
+    #[inline]
+    pub(crate) fn cmp_structural(&self, other: &Cut) -> Ordering {
+        self.size()
+            .cmp(&other.size())
+            .then_with(|| self.leaves().cmp(other.leaves()))
     }
 
     /// Returns `true` if this cut is the trivial cut of its root.
@@ -267,7 +474,8 @@ impl Cut {
     }
 
     /// Returns `true` when every leaf of `self` is also a leaf of `other`
-    /// (signature-gated subset test, see [`sorted_leaf_subset`]).
+    /// (signature-gated subset test: the O(1) signature check rejects most
+    /// non-subsets before the exact two-pointer scan).
     #[inline]
     pub fn dominates(&self, other: &Cut) -> bool {
         sorted_leaf_subset(
@@ -348,12 +556,16 @@ impl CutSet {
     }
 
     /// Builds a set from already-filtered cuts with an exactly-sized backing
-    /// vector (the enumeration scratch buffers hand their survivors over
-    /// through this).
+    /// vector (the choice-transfer path rebuilds arena spans through this).
     pub fn from_cuts(cuts: &[Cut]) -> CutSet {
         let mut owned = Vec::with_capacity(cuts.len());
         owned.extend(cuts.iter().cloned());
         CutSet { cuts: owned }
+    }
+
+    /// Consumes the set, returning the backing vector (best-ranked first).
+    pub fn into_vec(self) -> Vec<Cut> {
+        self.cuts
     }
 
     /// Adds a cut unless it is dominated by (or equal to) an existing cut;
@@ -398,11 +610,27 @@ impl CutSet {
     /// the lexicographic leaf order — implemented without the per-comparison
     /// key allocation a `(size, leaves.to_vec())` sort key would incur.
     pub fn prioritize_default(&mut self, limit: usize) {
-        self.cuts.sort_unstable_by(|a, b| {
-            a.size()
-                .cmp(&b.size())
-                .then_with(|| a.leaves().cmp(b.leaves()))
-        });
+        self.prioritize_by(limit, CutCost::Structural);
+    }
+
+    /// Sorts the cuts by the given [`CutCost`] ranking and truncates to
+    /// `limit`, always keeping the trivial cut of the root if present.
+    ///
+    /// For [`CutCost::Hybrid`] the kept set is a blend: the depth-best half
+    /// plus the best area-flow cuts among the rest (see [`CutCost`]).
+    pub fn prioritize_by(&mut self, limit: usize, cost: CutCost) {
+        match cost {
+            CutCost::Structural => self.cuts.sort_unstable_by(Cut::cmp_structural),
+            CutCost::Depth => self.cuts.sort_unstable_by(Cut::cmp_depth),
+            CutCost::Area => self.cuts.sort_unstable_by(Cut::cmp_area),
+            CutCost::Hybrid => hybrid_select(
+                &mut self.cuts,
+                limit,
+                Cut::cmp_depth,
+                Cut::cmp_area,
+                Cut::cmp_structural,
+            ),
+        }
         self.truncate_keeping_trivial(limit);
     }
 

@@ -4,28 +4,53 @@
 //! the heap: merged leaf sets live in stack [`LeafBuf`]s, truth tables of
 //! `<= 6` variables are single inline words, the proto-cut and final-cut
 //! scratch vectors are reused across all nodes, and signature popcounts
-//! reject oversized merges before any leaf is touched. The only per-node
-//! allocation is the compact `Vec` that ends up owning the node's final cut
-//! list.
+//! reject oversized merges before any leaf is touched. All cuts of all nodes
+//! live in **one arena** (`Vec<Cut>`) addressed through per-node spans, so a
+//! node costs two `u32`s of bookkeeping instead of its own heap vector —
+//! deep, narrow circuits (long chains with tiny cut sets) no longer pay a
+//! per-node allocation.
+//!
+//! # Cut costs and ranking
+//!
+//! Alongside its leaves and function, every enumerated cut carries two
+//! mapping-oriented estimates (see [`CutCosts`]): an *arrival* time
+//! (`delay(k) + max(leaf arrivals)`) and an ABC-style *area flow*
+//! (`area(k) + Σ flow(leaf) / fanout(leaf)`), where `delay`/`area` come from
+//! a per-cut-size [`CutCostModel`] (the unit model unless a technology-aware
+//! one is supplied via [`enumerate_cuts_with_model`]). Both are computed
+//! incrementally while the cross product is built — the leaves' costs are
+//! already final when a node is processed because the traversal is
+//! topological.
+//!
+//! [`CutParams::cost`] selects how candidate cuts are ranked before the
+//! per-node `cut_limit` truncates them: the static structural order, the
+//! depth-first or area-first cost orders, or the hybrid blend. Ranking
+//! happens on *proto* cuts, before any truth table is composed, so a better
+//! ranking costs nothing on the hot path.
 
-use crate::cut::{LeafBuf, MAX_CUT_SIZE};
-use crate::{Cut, CutSet};
+use crate::cut::{hybrid_select, LeafBuf, MAX_CUT_SIZE};
+use crate::{Cut, CutCost, CutCostModel, CutCosts, CutSet};
 use mch_logic::{GateKind, Network, NodeId, Signal, TruthTable};
+use std::cmp::Ordering;
 
 /// Parameters of cut enumeration.
 ///
 /// `cut_size` is the paper's `k` (maximum number of leaves), `cut_limit` the
-/// paper's `l` (maximum number of cuts stored per node).
+/// paper's `l` (maximum number of cuts stored per node), and `cost` the
+/// ranking that decides which cuts survive the `cut_limit` truncation.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct CutParams {
     /// Maximum number of leaves per cut (`k`).
     pub cut_size: usize,
     /// Maximum number of cuts kept per node (`l`).
     pub cut_limit: usize,
+    /// Ranking applied before truncating each node's cut set to `cut_limit`.
+    pub cost: CutCost,
 }
 
 impl CutParams {
-    /// Creates parameters with the given cut size and per-node cut limit.
+    /// Creates parameters with the given cut size and per-node cut limit,
+    /// using the static [`CutCost::Structural`] ranking.
     ///
     /// # Panics
     ///
@@ -38,7 +63,17 @@ impl CutParams {
         assert!(cut_limit >= 1, "at least one cut per node is required");
         // Fanin-cut indices are stored as u16 during enumeration.
         assert!(cut_limit < u16::MAX as usize, "cut limit must fit in 16 bits");
-        CutParams { cut_size, cut_limit }
+        CutParams {
+            cut_size,
+            cut_limit,
+            cost: CutCost::Structural,
+        }
+    }
+
+    /// Returns the same parameters with the given cut ranking.
+    pub fn with_cost(mut self, cost: CutCost) -> Self {
+        self.cost = cost;
+        self
     }
 }
 
@@ -48,23 +83,24 @@ impl Default for CutParams {
     }
 }
 
-/// All cut sets of a network, indexed by node.
+/// All cut sets of a network: one shared cut arena plus a `(start, len)` span
+/// per node, with the per-node best arrival/area-flow estimates and the
+/// fanout counts the area-flow recurrence divides by.
 #[derive(Clone, Debug)]
 pub struct NetworkCuts {
     params: CutParams,
-    sets: Vec<CutSet>,
+    model: CutCostModel,
+    arena: Vec<Cut>,
+    spans: Vec<(u32, u32)>,
+    node_costs: Vec<CutCosts>,
+    fanout_est: Vec<f32>,
 }
 
 impl NetworkCuts {
-    /// The cut set of `node`.
-    pub fn of(&self, node: NodeId) -> &CutSet {
-        &self.sets[node.index()]
-    }
-
-    /// Mutable access to the cut set of `node` (used by the choice-aware
-    /// mapper to transfer cuts from choice nodes, Algorithm 3 lines 2–8).
-    pub fn of_mut(&mut self, node: NodeId) -> &mut CutSet {
-        &mut self.sets[node.index()]
+    /// The cut set of `node`, best-ranked first.
+    pub fn of(&self, node: NodeId) -> &[Cut] {
+        let (start, len) = self.spans[node.index()];
+        &self.arena[start as usize..(start + len) as usize]
     }
 
     /// The enumeration parameters used.
@@ -74,15 +110,66 @@ impl NetworkCuts {
 
     /// Total number of cuts over all nodes.
     pub fn total_cuts(&self) -> usize {
-        self.sets.iter().map(CutSet::len).sum()
+        self.spans.iter().map(|&(_, len)| len as usize).sum()
+    }
+
+    /// The best (minimum) arrival/area-flow estimates of `node` over its
+    /// stored cuts; zero for primary inputs and the constant node.
+    pub fn node_costs(&self, node: NodeId) -> CutCosts {
+        self.node_costs[node.index()]
+    }
+
+    /// Computes the [`CutCosts`] a cut with the given leaves would have when
+    /// rooted anywhere above them:
+    /// `arrival = delay(k) + max(leaf arrivals)`,
+    /// `flow = area(k) + Σ flow(leaf) / fanout(leaf)`,
+    /// with `delay`/`area` taken from the enumeration's [`CutCostModel`].
+    ///
+    /// Used to attach costs to cuts created *outside* enumeration, e.g. the
+    /// choice-node cuts the mapper transfers onto representatives.
+    pub fn leaf_costs(&self, leaves: &[NodeId]) -> CutCosts {
+        proto_costs(leaves, &self.node_costs, &self.fanout_est, &self.model)
+    }
+
+    /// Adds `extra` cuts to `node`'s set, deduplicates, re-ranks with `cost`
+    /// and truncates to `limit` (the trivial cut is always retained).
+    ///
+    /// This is the choice-transfer entry point (Algorithm 3, lines 2–8): the
+    /// node's span is rebuilt at the arena tail, the old span is abandoned in
+    /// place (a small, bounded waste — only representative nodes with choices
+    /// are ever extended).
+    pub fn extend_node(&mut self, node: NodeId, extra: &[Cut], limit: usize, cost: CutCost) {
+        if extra.is_empty() {
+            return;
+        }
+        let mut set = CutSet::from_cuts(self.of(node));
+        for cut in extra {
+            set.push_unchecked(cut.clone());
+        }
+        set.prioritize_by(limit, cost);
+        let start = self.arena.len() as u32;
+        let len = set.len() as u32;
+        self.arena.append(&mut set.into_vec());
+        self.spans[node.index()] = (start, len);
+        // Inherited cuts may improve the node's best estimates.
+        let idx = node.index();
+        let mut best = self.node_costs[idx];
+        for cut in self.of(node) {
+            if cut.is_trivial() {
+                continue;
+            }
+            best.arrival = best.arrival.min(cut.arrival());
+            best.flow = best.flow.min(cut.area_flow());
+        }
+        self.node_costs[idx] = best;
     }
 }
 
 /// Computes the table of one fanin over the merged leaf ordering, negating it
 /// when the fanin edge is complemented. The placement is built with a linear
-/// two-pointer scan (both leaf lists are sorted) into a stack array, and the
-/// remap itself stays on the single-word fast path whenever the merged cut
-/// has at most six leaves.
+/// two-pointer scan (both leaf lists are sorted) into a stack array; the
+/// remap itself is the mask-doubling "stretch" fast path whenever the merged
+/// cut has at most six leaves (see [`TruthTable::remap_vars`]).
 #[inline]
 fn fanin_table(sig: Signal, cut: &Cut, leaves: &[NodeId]) -> TruthTable {
     let nvars = leaves.len();
@@ -131,15 +218,41 @@ fn compose_function(
 }
 
 /// A cut candidate before its function is computed: the merged leaves, the
-/// signature, and the indices of the fanin cuts that produced it. Keeping the
-/// cross product in this form defers truth-table composition — the expensive
-/// step — until after dominance filtering and priority truncation, so only
-/// the `cut_limit` surviving cuts per node ever get a function.
+/// signature, the cost estimates, and the indices of the fanin cuts that
+/// produced it. Keeping the cross product in this form defers truth-table
+/// composition — the expensive step — until after dominance filtering and
+/// priority truncation, so only the `cut_limit` surviving cuts per node ever
+/// get a function.
 #[derive(Copy, Clone)]
 struct ProtoCut {
     leaves: LeafBuf,
     signature: u64,
+    costs: CutCosts,
     src: [u16; 3],
+}
+
+impl ProtoCut {
+    #[inline]
+    fn cmp_structural(&self, other: &ProtoCut) -> Ordering {
+        self.leaves
+            .len()
+            .cmp(&other.leaves.len())
+            .then_with(|| self.leaves.as_slice().cmp(other.leaves.as_slice()))
+    }
+
+    #[inline]
+    fn cmp_depth(&self, other: &ProtoCut) -> Ordering {
+        self.costs
+            .cmp_depth(&other.costs)
+            .then_with(|| self.cmp_structural(other))
+    }
+
+    #[inline]
+    fn cmp_area(&self, other: &ProtoCut) -> Ordering {
+        self.costs
+            .cmp_area(&other.costs)
+            .then_with(|| self.cmp_structural(other))
+    }
 }
 
 /// `true` when leaves of `a` are a subset of (or equal to) leaves of `b`.
@@ -154,29 +267,103 @@ fn leaf_subset(a: &ProtoCut, b: &ProtoCut) -> bool {
 }
 
 /// Dominance-filtered insertion into the proto scratch list, mirroring
-/// [`CutSet::insert`] semantics on the leaf sets alone.
-fn proto_insert(protos: &mut Vec<ProtoCut>, cand: ProtoCut) {
+/// [`CutSet::insert`] semantics on the leaf sets alone. Cost estimates are
+/// computed only once a candidate survives the dominance filter, so rejected
+/// merges never pay the per-leaf cost loop.
+#[allow(clippy::too_many_arguments)]
+fn proto_insert(
+    protos: &mut Vec<ProtoCut>,
+    leaves: LeafBuf,
+    signature: u64,
+    src: [u16; 3],
+    node_costs: &[CutCosts],
+    fanout_est: &[f32],
+    model: &CutCostModel,
+) {
+    let cand = ProtoCut {
+        leaves,
+        signature,
+        costs: CutCosts::ZERO,
+        src,
+    };
     if protos.iter().any(|p| leaf_subset(p, &cand)) {
         return;
     }
     protos.retain(|p| !leaf_subset(&cand, p));
-    protos.push(cand);
+    protos.push(ProtoCut {
+        costs: proto_costs(&leaves, node_costs, fanout_est, model),
+        ..cand
+    });
+}
+
+/// Computes a proto cut's cost estimates from its merged leaves: model
+/// arrival and area flow over the (final, already-computed) leaf costs.
+#[inline]
+fn proto_costs(
+    leaves: &[NodeId],
+    node_costs: &[CutCosts],
+    fanout_est: &[f32],
+    model: &CutCostModel,
+) -> CutCosts {
+    let mut arrival = 0u32;
+    let mut flow = model.area[leaves.len()];
+    for &l in leaves {
+        let c = node_costs[l.index()];
+        arrival = arrival.max(c.arrival);
+        flow += c.flow / fanout_est[l.index()];
+    }
+    CutCosts {
+        arrival: arrival + model.delay[leaves.len()],
+        flow,
+    }
 }
 
 /// Enumerates priority cuts for every node of `network`.
 ///
 /// Each gate's cut set is built from the cross product of its fanins' cut
-/// sets, filtered by dominance, capped at `params.cut_limit` cuts of at most
-/// `params.cut_size` leaves, and always contains the node's trivial cut.
-/// Truth tables are computed for every stored cut (and only for stored cuts:
-/// candidates rejected by dominance or the priority truncation never pay for
-/// function composition).
+/// sets, filtered by dominance, ranked by [`CutParams::cost`], capped at
+/// `params.cut_limit` cuts of at most `params.cut_size` leaves, and always
+/// contains the node's trivial cut. Truth tables are computed for every
+/// stored cut (and only for stored cuts: candidates rejected by dominance or
+/// the priority truncation never pay for function composition).
 pub fn enumerate_cuts(network: &Network, params: &CutParams) -> NetworkCuts {
-    let mut sets: Vec<CutSet> = vec![CutSet::new(); network.len()];
+    enumerate_cuts_with_model(network, params, &CutCostModel::unit())
+}
+
+/// [`enumerate_cuts`] with an explicit technology cost model for the
+/// arrival/area-flow estimates (see [`CutCostModel`]). The ASIC mapper feeds
+/// a library-derived model through this entry point so the depth ranking
+/// accounts for wide cells being slower than narrow ones.
+pub fn enumerate_cuts_with_model(
+    network: &Network,
+    params: &CutParams,
+    model: &CutCostModel,
+) -> NetworkCuts {
+    let n = network.len();
+    let mut spans = vec![(0u32, 0u32); n];
+    let mut node_costs = vec![CutCosts::ZERO; n];
+    // Fanout estimates over the subject graph: gate fanins plus output uses,
+    // floored at one so the area-flow division never blows up on dead nodes.
+    let mut fanout_est = vec![0.0f32; n];
+    for id in network.gate_ids() {
+        for f in network.node(id).fanins() {
+            fanout_est[f.node().index()] += 1.0;
+        }
+    }
+    for o in network.outputs() {
+        fanout_est[o.node().index()] += 1.0;
+    }
+    for v in &mut fanout_est {
+        *v = v.max(1.0);
+    }
+
+    let mut arena: Vec<Cut> = Vec::new();
     // Constant node and primary inputs.
-    sets[0].push_unchecked(Cut::constant(NodeId::CONST0));
+    arena.push(Cut::constant(NodeId::CONST0));
+    spans[0] = (0, 1);
     for &pi in network.inputs() {
-        sets[pi.index()].push_unchecked(Cut::trivial(pi));
+        spans[pi.index()] = (arena.len() as u32, 1);
+        arena.push(Cut::trivial(pi));
     }
     // Scratch buffers reused across every gate; their backing vectors reach
     // the high-water cross-product size once and are then recycled.
@@ -187,12 +374,18 @@ pub fn enumerate_cuts(network: &Network, params: &CutParams) -> NetworkCuts {
         let fanins = node.fanins();
         protos.clear();
         final_cuts.clear();
+        let span_of = |f: Signal, spans: &[(u32, u32)]| {
+            let (s, l) = spans[f.node().index()];
+            (s as usize, l as usize)
+        };
         match fanins.len() {
             2 => {
-                let sa = &sets[fanins[0].node().index()];
-                let sb = &sets[fanins[1].node().index()];
-                for (ia, ca) in sa.iter().enumerate() {
-                    for (ib, cb) in sb.iter().enumerate() {
+                let (sa, la) = span_of(fanins[0], &spans);
+                let (sb, lb) = span_of(fanins[1], &spans);
+                for ia in 0..la {
+                    let ca = &arena[sa + ia];
+                    for ib in 0..lb {
+                        let cb = &arena[sb + ib];
                         let signature = ca.signature() | cb.signature();
                         if signature.count_ones() as usize > params.cut_size {
                             continue;
@@ -204,21 +397,24 @@ pub fn enumerate_cuts(network: &Network, params: &CutParams) -> NetworkCuts {
                         };
                         proto_insert(
                             &mut protos,
-                            ProtoCut {
-                                leaves,
-                                signature,
-                                src: [ia as u16, ib as u16, 0],
-                            },
+                            leaves,
+                            signature,
+                            [ia as u16, ib as u16, 0],
+                            &node_costs,
+                            &fanout_est,
+                            model,
                         );
                     }
                 }
             }
             3 => {
-                let sa = &sets[fanins[0].node().index()];
-                let sb = &sets[fanins[1].node().index()];
-                let sc = &sets[fanins[2].node().index()];
-                for (ia, ca) in sa.iter().enumerate() {
-                    for (ib, cb) in sb.iter().enumerate() {
+                let (sa, la) = span_of(fanins[0], &spans);
+                let (sb, lb) = span_of(fanins[1], &spans);
+                let (sc, lc) = span_of(fanins[2], &spans);
+                for ia in 0..la {
+                    let ca = &arena[sa + ia];
+                    for ib in 0..lb {
+                        let cb = &arena[sb + ib];
                         // O(1) popcount pre-check on the pair before the
                         // linear merge; the partial union is then merged with
                         // each third cut without any dummy-cut clone.
@@ -230,7 +426,8 @@ pub fn enumerate_cuts(network: &Network, params: &CutParams) -> NetworkCuts {
                         else {
                             continue;
                         };
-                        for (ic, cc) in sc.iter().enumerate() {
+                        for ic in 0..lc {
+                            let cc = &arena[sc + ic];
                             let signature = sig_ab | cc.signature();
                             if signature.count_ones() as usize > params.cut_size {
                                 continue;
@@ -241,11 +438,12 @@ pub fn enumerate_cuts(network: &Network, params: &CutParams) -> NetworkCuts {
                             };
                             proto_insert(
                                 &mut protos,
-                                ProtoCut {
-                                    leaves,
-                                    signature,
-                                    src: [ia as u16, ib as u16, ic as u16],
-                                },
+                                leaves,
+                                signature,
+                                [ia as u16, ib as u16, ic as u16],
+                                &node_costs,
+                                &fanout_est,
+                                model,
                             );
                         }
                     }
@@ -253,45 +451,82 @@ pub fn enumerate_cuts(network: &Network, params: &CutParams) -> NetworkCuts {
             }
             _ => unreachable!("gates have 2 or 3 fanins"),
         }
-        // Priority: smaller cuts first (a simple, robust static order), then
-        // truncate to the per-node limit before any function is composed.
-        protos.sort_unstable_by(|a, b| {
-            a.leaves
-                .len()
-                .cmp(&b.leaves.len())
-                .then_with(|| a.leaves.as_slice().cmp(b.leaves.as_slice()))
-        });
+        // Rank by the configured cost, then truncate to the per-node limit
+        // before any function is composed.
+        match params.cost {
+            CutCost::Structural => protos.sort_unstable_by(ProtoCut::cmp_structural),
+            CutCost::Depth => protos.sort_unstable_by(ProtoCut::cmp_depth),
+            CutCost::Area => protos.sort_unstable_by(ProtoCut::cmp_area),
+            CutCost::Hybrid => hybrid_select(
+                &mut protos,
+                params.cut_limit,
+                ProtoCut::cmp_depth,
+                ProtoCut::cmp_area,
+                ProtoCut::cmp_structural,
+            ),
+        }
         protos.truncate(params.cut_limit);
+        // The node's best estimates over the survivors; if the cut size was
+        // too tight for any structural cut, fall back to the fanin costs.
+        let mut best = CutCosts {
+            arrival: u32::MAX,
+            flow: f32::INFINITY,
+        };
+        for p in &protos {
+            best.arrival = best.arrival.min(p.costs.arrival);
+            best.flow = best.flow.min(p.costs.flow);
+        }
+        if protos.is_empty() {
+            let mut arrival = 0u32;
+            let mut flow = model.area[fanins.len()];
+            for f in fanins {
+                let c = node_costs[f.node().index()];
+                arrival = arrival.max(c.arrival);
+                flow += c.flow / fanout_est[f.node().index()];
+            }
+            best = CutCosts {
+                arrival: arrival + model.delay[fanins.len()],
+                flow,
+            };
+        }
+        node_costs[id.index()] = best;
         // Compose functions for the survivors only.
         for p in &protos {
-            let f = match fanins.len() {
-                2 => {
-                    let ca = sets[fanins[0].node().index()].get(p.src[0] as usize);
-                    let cb = sets[fanins[1].node().index()].get(p.src[1] as usize);
-                    let (ca, cb) = (ca.expect("source cut"), cb.expect("source cut"));
-                    compose_function(node.kind(), fanins, &[ca, cb], &p.leaves)
-                }
-                _ => {
-                    let ca = sets[fanins[0].node().index()].get(p.src[0] as usize);
-                    let cb = sets[fanins[1].node().index()].get(p.src[1] as usize);
-                    let cc = sets[fanins[2].node().index()].get(p.src[2] as usize);
-                    let (ca, cb, cc) = (
-                        ca.expect("source cut"),
-                        cb.expect("source cut"),
-                        cc.expect("source cut"),
-                    );
-                    compose_function(node.kind(), fanins, &[ca, cb, cc], &p.leaves)
-                }
+            let fanin_cut = |i: usize| {
+                let (s, _) = span_of(fanins[i], &spans);
+                &arena[s + p.src[i] as usize]
             };
-            final_cuts.push(Cut::new(id, &p.leaves, f));
+            let f = match fanins.len() {
+                2 => compose_function(
+                    node.kind(),
+                    fanins,
+                    &[fanin_cut(0), fanin_cut(1)],
+                    &p.leaves,
+                ),
+                _ => compose_function(
+                    node.kind(),
+                    fanins,
+                    &[fanin_cut(0), fanin_cut(1), fanin_cut(2)],
+                    &p.leaves,
+                ),
+            };
+            final_cuts.push(Cut::with_costs(id, &p.leaves, f, p.costs));
         }
-        // The trivial cut is always available as a fallback.
-        final_cuts.push(Cut::trivial(id));
-        sets[id.index()] = CutSet::from_cuts(&final_cuts);
+        // The trivial cut is always available as a fallback; it carries the
+        // node's best estimates (using it does not change depth or flow).
+        let mut trivial = Cut::trivial(id);
+        trivial.set_costs(best);
+        final_cuts.push(trivial);
+        spans[id.index()] = (arena.len() as u32, final_cuts.len() as u32);
+        arena.append(&mut final_cuts);
     }
     NetworkCuts {
         params: *params,
-        sets,
+        model: *model,
+        arena,
+        spans,
+        node_costs,
+        fanout_est,
     }
 }
 
@@ -398,5 +633,133 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn arrivals_match_unit_delay_levels_on_a_chain() {
+        // A chain of ANDs: node i has depth i + 1; with a wide-open cut size
+        // the best arrival is always 1 (one cut covering the whole cone up to
+        // the PIs) once the cone fits in k leaves.
+        let mut n = Network::new(NetworkKind::Aig);
+        let xs = n.add_inputs(4);
+        let g1 = n.and2(xs[0], xs[1]);
+        let g2 = n.and2(g1, xs[2]);
+        let g3 = n.and2(g2, xs[3]);
+        n.add_output(g3);
+        let cuts = enumerate_cuts(&n, &CutParams::new(4, 8));
+        // All cones fit in 4 leaves, so every gate reaches arrival 1.
+        for id in [g1.node(), g2.node(), g3.node()] {
+            assert_eq!(cuts.node_costs(id).arrival, 1, "node {id}");
+        }
+        // With k = 2 the chain cannot be compressed: arrivals grow linearly.
+        let cuts = enumerate_cuts(&n, &CutParams::new(2, 8));
+        assert_eq!(cuts.node_costs(g1.node()).arrival, 1);
+        assert_eq!(cuts.node_costs(g2.node()).arrival, 2);
+        assert_eq!(cuts.node_costs(g3.node()).arrival, 3);
+    }
+
+    #[test]
+    fn per_cut_costs_are_consistent_with_leaf_costs() {
+        let (n, _, _) = adder_bit();
+        let cuts = enumerate_cuts(&n, &CutParams::default());
+        for id in n.gate_ids() {
+            for c in cuts.of(id).iter() {
+                if c.is_trivial() {
+                    assert_eq!(c.costs(), cuts.node_costs(id));
+                    continue;
+                }
+                let expect = cuts.leaf_costs(c.leaves());
+                assert_eq!(c.arrival(), expect.arrival, "arrival of {c}");
+                assert!((c.area_flow() - expect.flow).abs() < 1e-6, "flow of {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_ranking_keeps_min_arrival_cut_first() {
+        let mut n = Network::new(NetworkKind::Aig);
+        let xs = n.add_inputs(6);
+        let f = n.and_reduce(&xs);
+        n.add_output(f);
+        let params = CutParams::new(4, 2).with_cost(CutCost::Depth);
+        let cuts = enumerate_cuts(&n, &params);
+        for id in n.gate_ids() {
+            let set = cuts.of(id);
+            let first = &set[0];
+            assert!(
+                set.iter().all(|c| first.arrival() <= c.arrival()),
+                "first cut of {id} is not arrival-minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_ranking_keeps_both_depth_and_area_champions() {
+        // Build a network wide enough that the cross product exceeds the cut
+        // limit, then check that the kept set contains a cut achieving the
+        // pre-truncation minimum arrival AND one achieving the minimum flow.
+        let mut n = Network::new(NetworkKind::Aig);
+        let xs = n.add_inputs(8);
+        let mut layer: Vec<_> = xs.clone();
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(n.and2(pair[0], pair[1]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        n.add_output(layer[0]);
+        let limited = CutParams::new(4, 3).with_cost(CutCost::Hybrid);
+        let unlimited = CutParams::new(4, 1000).with_cost(CutCost::Hybrid);
+        let kept = enumerate_cuts(&n, &limited);
+        let all = enumerate_cuts(&n, &unlimited);
+        // The roots of both enumerations agree on the reachable optimum.
+        let root = layer[0].node();
+        let best_arrival = all.of(root).iter().map(Cut::arrival).min().unwrap();
+        assert_eq!(
+            kept.of(root).iter().map(Cut::arrival).min().unwrap(),
+            best_arrival,
+            "hybrid truncation lost the depth-best cut"
+        );
+        let min_flow = |cuts: &[Cut]| {
+            cuts.iter()
+                .filter(|c| !c.is_trivial())
+                .map(Cut::area_flow)
+                .fold(f32::INFINITY, f32::min)
+        };
+        assert_eq!(
+            min_flow(kept.of(root)),
+            min_flow(all.of(root)),
+            "hybrid truncation lost the area-flow-best cut"
+        );
+    }
+
+    #[test]
+    fn extend_node_reranks_and_respects_limit() {
+        let (n, s, _) = adder_bit();
+        let mut cuts = enumerate_cuts(&n, &CutParams::default());
+        let root = s.node();
+        let before = cuts.of(root).len();
+        // Fabricate an inherited cut over the PIs.
+        let pis: Vec<NodeId> = n.inputs().to_vec();
+        let extra = Cut::with_costs(
+            root,
+            &pis,
+            TruthTable::zeros(3),
+            cuts.leaf_costs(&pis),
+        );
+        cuts.extend_node(root, &[extra], 16, CutCost::Structural);
+        assert!(cuts.of(root).len() <= 16);
+        assert!(cuts.of(root).len() >= before.min(16));
+        assert!(cuts.of(root).iter().any(|c| c.is_trivial()));
+        // Deduplication: extending with an existing cut is a no-op.
+        let dup = cuts.of(root)[0].clone();
+        let len = cuts.of(root).len();
+        cuts.extend_node(root, &[dup], 16, CutCost::Structural);
+        assert_eq!(cuts.of(root).len(), len);
     }
 }

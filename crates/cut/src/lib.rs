@@ -29,10 +29,12 @@
 //! assert!(best.iter().any(|cut| cut.leaves().len() == 3));
 //! ```
 
+#![warn(missing_docs)]
+
 mod cut;
 mod enumeration;
 pub mod legacy;
 
-pub use cut::{Cut, CutSet, LeafBuf, MAX_CUT_SIZE};
-pub use enumeration::{enumerate_cuts, CutParams, NetworkCuts};
+pub use cut::{Cut, CutCost, CutCostModel, CutCosts, CutSet, LeafBuf, MAX_CUT_SIZE};
+pub use enumeration::{enumerate_cuts, enumerate_cuts_with_model, CutParams, NetworkCuts};
 pub use legacy::{legacy_enumerate_cuts, LegacyNetworkCuts};

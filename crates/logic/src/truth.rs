@@ -397,6 +397,11 @@ impl TruthTable {
     /// Re-expresses the table over `new_num_vars` variables, mapping old
     /// variable `i` onto new variable `placement[i]`.
     ///
+    /// When the result fits in the inline word (`new_num_vars <= 6`) this
+    /// runs the mask-doubling "stretch" algorithm — a handful of shifts/ORs
+    /// per moved variable instead of a per-minterm loop (see `remap_u64`).
+    /// Larger tables fall back to the generic minterm walk.
+    ///
     /// # Panics
     ///
     /// Panics if a placement index is out of range or duplicated.
@@ -515,20 +520,72 @@ fn repr_words(r: &Repr) -> &[u64] {
     }
 }
 
+/// Swaps adjacent variables `v` and `v + 1` of a single-word table.
+///
+/// Minterms where the two variables agree stay put; minterms with
+/// `(v, v+1) = (1, 0)` trade places with their `(0, 1)` counterpart, which
+/// sits exactly `2^v` bit positions away. All three groups are selected with
+/// masks derived from the projection patterns, so one swap is five bitwise
+/// ops — no per-minterm work.
+#[inline]
+fn swap_adjacent_u64(t: u64, v: usize) -> u64 {
+    debug_assert!(v + 1 < INLINE_VARS);
+    let pv = VAR_PATTERNS[v];
+    let pw = VAR_PATTERNS[v + 1];
+    let shift = 1u32 << v;
+    (t & !(pv ^ pw)) | ((t & (pv & !pw)) << shift) | ((t & (!pv & pw)) >> shift)
+}
+
 /// Remaps a single-word table onto `new_num_vars <= 6` variables, sending old
 /// variable `i` to `placement[i]`. Used by the allocation-free cut hot path.
+///
+/// This is the mask-doubling "stretch" algorithm rather than a per-minterm
+/// loop:
+///
+/// 1. **Stretch** — the `2^k` occupied bits are doubled up to the full word
+///    (`t |= t << 2^s` for `s = k..6`), which turns every variable above the
+///    current `k` into a don't-care instead of reading as constant zero.
+/// 2. **Order** — if `placement` is not already increasing (it always is on
+///    the cut hot path, where both leaf lists are sorted), old variables are
+///    bubble-sorted by target position; each adjacent transposition is one
+///    [`swap_adjacent_u64`] call.
+/// 3. **Spread** — variables are moved from their packed slots to their
+///    target positions from the top down; the slots crossed on the way up
+///    hold only don't-care variables, so each step is again one adjacent
+///    swap.
+///
+/// The result is masked back to `2^new_num_vars` bits. Total cost is a
+/// handful of shifts/ORs per variable moved, independent of the number of
+/// minterms.
 #[inline]
 pub(crate) fn remap_u64(table: u64, placement: &[usize], new_num_vars: usize) -> u64 {
     debug_assert!(new_num_vars <= INLINE_VARS);
-    let mut out = 0u64;
-    for m in 0..(1usize << new_num_vars) {
-        let mut old = 0usize;
-        for (ov, &nv) in placement.iter().enumerate() {
-            old |= (m >> nv & 1) << ov;
-        }
-        out |= ((table >> old) & 1) << m;
+    debug_assert!(placement.len() <= INLINE_VARS);
+    let k = placement.len();
+    // 1. Stretch: replicate the occupied span so vars k..6 become don't-care.
+    let mut t = table;
+    for s in k..INLINE_VARS {
+        t |= t << (1u32 << s);
     }
-    out
+    // 2. Order old variables by target position (no-op for monotone input).
+    let mut targets = [0usize; INLINE_VARS];
+    targets[..k].copy_from_slice(placement);
+    for i in 1..k {
+        let mut j = i;
+        while j > 0 && targets[j - 1] > targets[j] {
+            targets.swap(j - 1, j);
+            t = swap_adjacent_u64(t, j - 1);
+            j -= 1;
+        }
+    }
+    // 3. Spread top-down: everything between a variable's packed slot and its
+    //    target is a don't-care by construction.
+    for ov in (0..k).rev() {
+        for p in ov..targets[ov] {
+            t = swap_adjacent_u64(t, p);
+        }
+    }
+    t & mask_for(new_num_vars)
 }
 
 impl PartialEq for TruthTable {
@@ -700,6 +757,72 @@ mod tests {
         let a4 = TruthTable::var(4, 0);
         let b4 = TruthTable::var(4, 3);
         assert_eq!(g, a4.and(&b4));
+    }
+
+    /// The retired per-minterm remap, kept as the reference semantics for the
+    /// mask-doubling stretch implementation.
+    fn remap_u64_reference(table: u64, placement: &[usize], new_num_vars: usize) -> u64 {
+        let mut out = 0u64;
+        for m in 0..(1usize << new_num_vars) {
+            let mut old = 0usize;
+            for (ov, &nv) in placement.iter().enumerate() {
+                old |= (m >> nv & 1) << ov;
+            }
+            out |= ((table >> old) & 1) << m;
+        }
+        out
+    }
+
+    #[test]
+    fn stretch_remap_matches_per_minterm_reference() {
+        // Exhaustive placements for small k, pseudo-random tables; covers
+        // monotone (the cut hot path), permuted, and spread placements.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for new_vars in 0..=6usize {
+            for k in 0..=new_vars {
+                // Walk a spread of placements: all increasing ones for small
+                // sizes plus permutations thereof.
+                let mut combos: Vec<Vec<usize>> = vec![Vec::new()];
+                for _ in 0..k {
+                    combos = combos
+                        .into_iter()
+                        .flat_map(|c| {
+                            let lo = c.last().map_or(0, |&l| l + 1);
+                            (lo..new_vars).map(move |v| {
+                                let mut c = c.clone();
+                                c.push(v);
+                                c
+                            })
+                        })
+                        .collect();
+                }
+                for c in combos {
+                    let mut perms = vec![c.clone()];
+                    let mut rev = c.clone();
+                    rev.reverse();
+                    perms.push(rev);
+                    if c.len() >= 3 {
+                        let mut rot = c.clone();
+                        rot.rotate_left(1);
+                        perms.push(rot);
+                    }
+                    for p in perms {
+                        let table = next() & mask_for(k);
+                        assert_eq!(
+                            remap_u64(table, &p, new_vars),
+                            remap_u64_reference(table, &p, new_vars),
+                            "table={table:#x} placement={p:?} new_vars={new_vars}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,9 +4,41 @@
 use crate::mapping::{prepare_cuts, MappingObjective};
 use crate::netlist::{CellNetlist, NetRef};
 use mch_choice::ChoiceNetwork;
-use mch_logic::{NodeId, Signal};
+use mch_cut::{CutCost, CutCostModel, MAX_CUT_SIZE};
+use mch_logic::{GateKind, Network, NodeId, Signal, TruthTable};
 use mch_techlib::{CellId, Library};
 use std::collections::HashMap;
+
+/// Derives the cut-ranking cost model from a cell library: the delay/area of
+/// a `k`-leaf cut is estimated as the fastest/cheapest cell with exactly `k`
+/// inputs (sizes no cell provides inherit the previous size's estimate plus
+/// an inverter, approximating a decomposition). This is what lets the depth
+/// ranking know that covering more leaves with one cell is *not* free in an
+/// ASIC flow, unlike in LUT mapping.
+fn library_cost_model(library: &Library) -> CutCostModel {
+    let mut min_delay = [f64::INFINITY; MAX_CUT_SIZE + 1];
+    let mut min_area = [f64::INFINITY; MAX_CUT_SIZE + 1];
+    for cell in library.cells() {
+        let k = cell.num_inputs().min(MAX_CUT_SIZE);
+        min_delay[k] = min_delay[k].min(cell.delay());
+        min_area[k] = min_area[k].min(cell.area());
+    }
+    let mut model = CutCostModel::unit();
+    let mut last_delay = library.inverter_delay().max(1.0);
+    let mut last_area = library.inverter_area().max(f64::MIN_POSITIVE);
+    for k in 0..=MAX_CUT_SIZE {
+        if min_delay[k].is_finite() {
+            last_delay = min_delay[k];
+            last_area = min_area[k];
+        } else if k > 0 {
+            last_delay += library.inverter_delay();
+            last_area += library.inverter_area();
+        }
+        model.delay[k] = last_delay.round().max(1.0) as u32;
+        model.area[k] = last_area as f32;
+    }
+    model
+}
 
 /// Parameters of ASIC mapping.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -17,6 +49,9 @@ pub struct AsicMapParams {
     pub cut_limit: usize,
     /// Number of area-recovery passes after the delay-oriented pass.
     pub area_rounds: usize,
+    /// How cuts are ranked before the per-node `cut_limit` truncates them
+    /// (see [`CutCost`]); defaults to the objective's natural ranking.
+    pub cut_ranking: CutCost,
 }
 
 impl AsicMapParams {
@@ -26,7 +61,14 @@ impl AsicMapParams {
             objective,
             cut_limit: 8,
             area_rounds: 2,
+            cut_ranking: objective.default_ranking(),
         }
+    }
+
+    /// Returns the same parameters with an explicit cut ranking.
+    pub fn with_ranking(mut self, ranking: CutCost) -> Self {
+        self.cut_ranking = ranking;
+        self
     }
 }
 
@@ -73,6 +115,43 @@ impl MatchCandidate {
     }
 }
 
+/// Builds the direct-fanin cut of a gate: leaves are the sorted distinct
+/// non-constant fanin nodes, the function is the gate's primitive (AND / XOR /
+/// majority) with fanin complements and constants folded in. Every usable
+/// library matches these functions, so this cut makes ASIC matching total
+/// regardless of which cuts survived the ranked truncation.
+fn direct_fanin_cut(net: &Network, id: NodeId) -> (Vec<NodeId>, TruthTable) {
+    let node = net.node(id);
+    let fanins = node.fanins();
+    let mut leaves: Vec<NodeId> = fanins
+        .iter()
+        .map(|s| s.node())
+        .filter(|n| !n.is_const())
+        .collect();
+    leaves.sort();
+    leaves.dedup();
+    let lit = |s: Signal| -> TruthTable {
+        if s.node().is_const() {
+            TruthTable::constant(leaves.len(), s.is_complement())
+        } else {
+            let pos = leaves.binary_search(&s.node()).expect("fanin is a leaf");
+            let v = TruthTable::var(leaves.len(), pos);
+            if s.is_complement() {
+                v.not()
+            } else {
+                v
+            }
+        }
+    };
+    let function = match node.kind() {
+        GateKind::And2 => lit(fanins[0]).and(&lit(fanins[1])),
+        GateKind::Xor2 => lit(fanins[0]).xor(&lit(fanins[1])),
+        GateKind::Maj3 => TruthTable::maj(&lit(fanins[0]), &lit(fanins[1]), &lit(fanins[2])),
+        _ => unreachable!("only gates are mapped"),
+    };
+    (leaves, function)
+}
+
 /// Maps a choice network onto standard cells.
 ///
 /// The mapper follows the classical priority-cut flow: a delay-oriented pass
@@ -95,7 +174,13 @@ pub fn map_asic(
 ) -> CellNetlist {
     let net = choice.network();
     let cut_size = library.max_inputs().clamp(3, 6);
-    let cuts = prepare_cuts(choice, cut_size, params.cut_limit);
+    let cuts = prepare_cuts(
+        choice,
+        cut_size,
+        params.cut_limit,
+        params.cut_ranking,
+        &library_cost_model(library),
+    );
     let inv_delay = library.inverter_delay();
     let inv_area = library.inverter_area();
 
@@ -109,15 +194,25 @@ pub fn map_asic(
     let mut candidates: Vec<Vec<MatchCandidate>> = vec![Vec::new(); net.len()];
     for &id in &original_gates {
         let mut cands = Vec::new();
-        for cut in cuts.of(id).iter() {
-            if cut.is_trivial() {
-                continue;
+        // The direct-fanin cut carries the gate's own primitive function, the
+        // one shape every usable library covers. Cost-aware rankings can
+        // truncate it out of the enumerated set, so it is re-synthesised here
+        // as a guaranteed-matchable candidate.
+        let fallback = direct_fanin_cut(net, id);
+        let enumerated = cuts.of(id).iter().map(|c| (c.leaves(), c.function()));
+        let all = enumerated.chain(std::iter::once((
+            fallback.0.as_slice(),
+            &fallback.1,
+        )));
+        for (cut_leaves, function) in all {
+            if cut_leaves.len() == 1 && cut_leaves[0] == id {
+                continue; // trivial cut
             }
-            let (reduced, support) = cut.function().shrink_to_support();
+            let (reduced, support) = function.shrink_to_support();
             if reduced.num_vars() == 0 {
                 continue;
             }
-            let leaves: Vec<NodeId> = support.iter().map(|&i| cut.leaves()[i]).collect();
+            let leaves: Vec<NodeId> = support.iter().map(|&i| cut_leaves[i]).collect();
             let matches = library.matches(&reduced);
             if matches.is_empty() {
                 continue;

@@ -31,6 +31,8 @@
 //! assert_eq!(fpga.lut_count(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 mod asic;
 mod lut;
 mod mapping;
@@ -39,4 +41,5 @@ mod netlist;
 pub use asic::{map_asic, map_asic_network, AsicMapParams};
 pub use lut::{map_lut, map_lut_network, LutMapParams};
 pub use mapping::MappingObjective;
+pub use mch_cut::{CutCost, CutCostModel, CutCosts};
 pub use netlist::{CellNetlist, LutNetlist, MappedCell, MappedLut, NetRef};

@@ -3,6 +3,7 @@
 use crate::mapping::{prepare_cuts, MappingObjective};
 use crate::netlist::{LutNetlist, NetRef};
 use mch_choice::ChoiceNetwork;
+use mch_cut::{CutCost, CutCostModel};
 use mch_logic::{NodeId, TruthTable};
 use mch_techlib::LutLibrary;
 use std::collections::HashMap;
@@ -16,6 +17,9 @@ pub struct LutMapParams {
     pub cut_limit: usize,
     /// Number of area-recovery passes after the delay-oriented pass.
     pub area_rounds: usize,
+    /// How cuts are ranked before the per-node `cut_limit` truncates them
+    /// (see [`CutCost`]); defaults to the objective's natural ranking.
+    pub cut_ranking: CutCost,
 }
 
 impl LutMapParams {
@@ -25,7 +29,14 @@ impl LutMapParams {
             objective,
             cut_limit: 8,
             area_rounds: 3,
+            cut_ranking: objective.default_ranking(),
         }
+    }
+
+    /// Returns the same parameters with an explicit cut ranking.
+    pub fn with_ranking(mut self, ranking: CutCost) -> Self {
+        self.cut_ranking = ranking;
+        self
     }
 }
 
@@ -69,7 +80,14 @@ impl LutCandidate {
 /// best-results entries in the paper (Table II).
 pub fn map_lut(choice: &ChoiceNetwork, lut: &LutLibrary, params: &LutMapParams) -> LutNetlist {
     let net = choice.network();
-    let cuts = prepare_cuts(choice, lut.k(), params.cut_limit);
+    // The unit model is exact for LUTs: one level, one LUT per cut.
+    let cuts = prepare_cuts(
+        choice,
+        lut.k(),
+        params.cut_limit,
+        params.cut_ranking,
+        &CutCostModel::unit(),
+    );
 
     let original_gates: Vec<NodeId> = net
         .gate_ids()
@@ -85,6 +103,21 @@ pub fn map_lut(choice: &ChoiceNetwork, lut: &LutLibrary, params: &LutMapParams) 
             let (reduced, support) = cut.function().shrink_to_support();
             let leaves: Vec<NodeId> = support.iter().map(|&i| cut.leaves()[i]).collect();
             if leaves.is_empty() {
+                // The cone is functionally constant (redundant logic): cover
+                // it with a one-input constant LUT anchored at the cut's
+                // first leaf so the netlist stays structurally uniform.
+                if let Some(&anchor) = cut.leaves().first() {
+                    let function = TruthTable::constant(1, reduced.bit(0));
+                    if !cands
+                        .iter()
+                        .any(|c: &LutCandidate| c.leaves == [anchor] && c.function == function)
+                    {
+                        cands.push(LutCandidate {
+                            leaves: vec![anchor],
+                            function,
+                        });
+                    }
+                }
                 continue;
             }
             if !cands

@@ -2,7 +2,7 @@
 //! choice-aware cut preparation (Algorithm 3, lines 1–8).
 
 use mch_choice::ChoiceNetwork;
-use mch_cut::{enumerate_cuts, Cut, CutParams, NetworkCuts};
+use mch_cut::{enumerate_cuts_with_model, Cut, CutCost, CutCostModel, CutParams, NetworkCuts, MAX_CUT_SIZE};
 use mch_logic::{NodeId, TruthTable};
 
 /// What the mapper optimises for.
@@ -17,6 +17,20 @@ pub enum MappingObjective {
     Area,
 }
 
+impl MappingObjective {
+    /// The cut ranking that matches this objective: depth-first for
+    /// [`Delay`](MappingObjective::Delay), area-first for
+    /// [`Area`](MappingObjective::Area) and the hybrid blend for
+    /// [`Balanced`](MappingObjective::Balanced).
+    pub fn default_ranking(self) -> CutCost {
+        match self {
+            MappingObjective::Delay => CutCost::Depth,
+            MappingObjective::Balanced => CutCost::Hybrid,
+            MappingObjective::Area => CutCost::Area,
+        }
+    }
+}
+
 /// Remaps a cut inherited from a choice node onto representative-level leaves.
 ///
 /// Every leaf is replaced by its representative (flipping the corresponding
@@ -24,59 +38,105 @@ pub enum MappingObjective {
 /// a representative that are not part of the original structure make the cut
 /// unusable and `None` is returned. Duplicate leaves after remapping are
 /// merged by identifying the corresponding variables.
+///
+/// The whole remap runs on stack buffers: leaves resolve into fixed
+/// `[NodeId; 8]` arrays and the common no-duplicates case rebuilds the
+/// function with [`TruthTable::remap_vars`] (the single-word mask-doubling
+/// stretch for `<= 6` leaves) plus one [`TruthTable::flip_var`] per
+/// complemented leaf — no per-cut heap allocation, unlike the original
+/// `Vec`-collecting implementation this replaced.
 pub(crate) fn remap_choice_cut(
     cut: &Cut,
     choice: &ChoiceNetwork,
     repr: NodeId,
     phase: bool,
 ) -> Option<Cut> {
-    // Resolve each leaf to (representative node, leaf phase).
-    let mut resolved: Vec<(NodeId, bool)> = Vec::with_capacity(cut.size());
-    for &leaf in cut.leaves() {
+    let size = cut.size();
+    // Resolve each leaf to (representative node, leaf phase); every resolved
+    // leaf must precede the representative topologically.
+    let mut nodes = [NodeId::CONST0; MAX_CUT_SIZE];
+    let mut phases = [false; MAX_CUT_SIZE];
+    for (i, &leaf) in cut.leaves().iter().enumerate() {
         if choice.is_original(leaf) {
-            resolved.push((leaf, false));
+            nodes[i] = leaf;
         } else if let Some((r, p)) = choice.repr_of(leaf) {
-            resolved.push((r, p));
+            nodes[i] = r;
+            phases[i] = p;
         } else {
             return None;
         }
+        if nodes[i].index() >= repr.index() {
+            return None;
+        }
     }
-    // All remapped leaves must precede the representative topologically.
-    if resolved.iter().any(|&(l, _)| l.index() >= repr.index()) {
-        return None;
-    }
-    // Unique, sorted leaf list.
-    let mut unique: Vec<NodeId> = resolved.iter().map(|&(l, _)| l).collect();
-    unique.sort();
-    unique.dedup();
-    if unique.len() > 8 {
-        return None;
+    // Unique, sorted leaf list built by insertion into a stack array.
+    let mut unique = [NodeId::CONST0; MAX_CUT_SIZE];
+    let mut ulen = 0usize;
+    for &l in &nodes[..size] {
+        let mut pos = 0;
+        while pos < ulen && unique[pos] < l {
+            pos += 1;
+        }
+        if pos < ulen && unique[pos] == l {
+            continue;
+        }
+        for j in (pos..ulen).rev() {
+            unique[j + 1] = unique[j];
+        }
+        unique[pos] = l;
+        ulen += 1;
     }
     // Rebuild the function over the unique leaves.
-    let mut function = TruthTable::zeros(unique.len());
-    for m in 0..function.num_bits() {
-        // Value of each original cut variable under this minterm.
-        let mut old_index = 0usize;
-        for (i, &(l, p)) in resolved.iter().enumerate() {
-            let pos = unique.binary_search(&l).expect("leaf present");
-            let mut v = (m >> pos) & 1 == 1;
-            if p {
-                v = !v;
-            }
-            if v {
-                old_index |= 1 << i;
+    let mut placement = [0usize; MAX_CUT_SIZE];
+    for i in 0..size {
+        placement[i] = unique[..ulen]
+            .binary_search(&nodes[i])
+            .expect("leaf present");
+    }
+    let mut function = if ulen == size {
+        // No duplicates: the placement is a plain variable re-placement, so
+        // the stretch fast path applies; complemented leaves are single
+        // variable flips afterwards.
+        let mut f = cut.function().remap_vars(ulen, &placement[..size]);
+        for i in 0..size {
+            if phases[i] {
+                f = f.flip_var(placement[i]);
             }
         }
-        function.set_bit(m, cut.function().bit(old_index));
-    }
+        f
+    } else {
+        // Two original leaves resolved to the same representative: identify
+        // the corresponding variables minterm by minterm (rare slow path).
+        let mut f = TruthTable::zeros(ulen);
+        for m in 0..f.num_bits() {
+            let mut old_index = 0usize;
+            for i in 0..size {
+                let mut v = (m >> placement[i]) & 1 == 1;
+                if phases[i] {
+                    v = !v;
+                }
+                if v {
+                    old_index |= 1 << i;
+                }
+            }
+            f.set_bit(m, cut.function().bit(old_index));
+        }
+        f
+    };
     if phase {
         function = function.not();
     }
-    Some(Cut::new(repr, &unique, function))
+    Some(Cut::new(repr, &unique[..ulen], function))
 }
 
 /// Enumerates cuts over the mixed network and transfers every choice node's
 /// cuts to its representative (Algorithm 3, lines 1–8).
+///
+/// Cuts are ranked by `cost` — both inside enumeration (which cuts survive
+/// the per-node `cut_limit`) and when the inherited choice cuts are merged
+/// into a representative's set. Inherited cuts get fresh [`mch_cut::CutCosts`]
+/// computed over representative-level leaves so they compete with structural
+/// cuts on equal terms.
 ///
 /// The returned cut sets are indexed by node id of the mixed network; only
 /// original (representative) nodes are intended to be mapped.
@@ -84,34 +144,31 @@ pub(crate) fn prepare_cuts(
     choice: &ChoiceNetwork,
     cut_size: usize,
     cut_limit: usize,
+    cost: CutCost,
+    model: &CutCostModel,
 ) -> NetworkCuts {
-    let params = CutParams::new(cut_size, cut_limit);
-    let mut cuts = enumerate_cuts(choice.network(), &params);
+    let params = CutParams::new(cut_size, cut_limit).with_cost(cost);
+    let mut cuts = enumerate_cuts_with_model(choice.network(), &params, model);
     let reprs: Vec<NodeId> = choice.representatives().collect();
+    let mut inherited: Vec<Cut> = Vec::new();
     for repr in reprs {
-        let mut inherited: Vec<Cut> = Vec::new();
+        inherited.clear();
         for &(choice_node, phase) in choice.choices_of(repr) {
             for cut in cuts.of(choice_node).iter() {
                 if cut.size() > cut_size {
                     continue;
                 }
-                if let Some(remapped) = remap_choice_cut(cut, choice, repr, phase) {
+                if let Some(mut remapped) = remap_choice_cut(cut, choice, repr, phase) {
                     if remapped.size() <= cut_size && !remapped.is_trivial() {
+                        remapped.set_costs(cuts.leaf_costs(remapped.leaves()));
                         inherited.push(remapped);
                     }
                 }
             }
         }
-        if inherited.is_empty() {
-            continue;
-        }
-        let set = cuts.of_mut(repr);
-        for cut in inherited {
-            set.push_unchecked(cut);
-        }
         // Keep the set bounded (the paper's line 8) while retaining room for
         // both structural and inherited cuts.
-        set.prioritize_default(cut_limit * 2);
+        cuts.extend_node(repr, &inherited, cut_limit * 2, cost);
     }
     cuts
 }
@@ -134,17 +191,72 @@ mod tests {
         n
     }
 
+    /// The original `Vec`-based remap implementation, kept verbatim as the
+    /// reference semantics for the stack-buffer port.
+    fn remap_choice_cut_reference(
+        cut: &Cut,
+        choice: &ChoiceNetwork,
+        repr: NodeId,
+        phase: bool,
+    ) -> Option<Cut> {
+        let mut resolved: Vec<(NodeId, bool)> = Vec::with_capacity(cut.size());
+        for &leaf in cut.leaves() {
+            if choice.is_original(leaf) {
+                resolved.push((leaf, false));
+            } else if let Some((r, p)) = choice.repr_of(leaf) {
+                resolved.push((r, p));
+            } else {
+                return None;
+            }
+        }
+        if resolved.iter().any(|&(l, _)| l.index() >= repr.index()) {
+            return None;
+        }
+        let mut unique: Vec<NodeId> = resolved.iter().map(|&(l, _)| l).collect();
+        unique.sort();
+        unique.dedup();
+        if unique.len() > 8 {
+            return None;
+        }
+        let mut function = TruthTable::zeros(unique.len());
+        for m in 0..function.num_bits() {
+            let mut old_index = 0usize;
+            for (i, &(l, p)) in resolved.iter().enumerate() {
+                let pos = unique.binary_search(&l).expect("leaf present");
+                let mut v = (m >> pos) & 1 == 1;
+                if p {
+                    v = !v;
+                }
+                if v {
+                    old_index |= 1 << i;
+                }
+            }
+            function.set_bit(m, cut.function().bit(old_index));
+        }
+        if phase {
+            function = function.not();
+        }
+        Some(Cut::new(repr, &unique, function))
+    }
+
     #[test]
     fn objective_default_is_balanced() {
         assert_eq!(MappingObjective::default(), MappingObjective::Balanced);
     }
 
     #[test]
+    fn objective_rankings() {
+        assert_eq!(MappingObjective::Delay.default_ranking(), CutCost::Depth);
+        assert_eq!(MappingObjective::Balanced.default_ranking(), CutCost::Hybrid);
+        assert_eq!(MappingObjective::Area.default_ranking(), CutCost::Area);
+    }
+
+    #[test]
     fn prepared_cuts_contain_inherited_cuts() {
         let net = sample();
         let mch = build_mch(&net, &MchParams::area_oriented());
-        let plain = prepare_cuts(&ChoiceNetwork::from_network(&net), 4, 8);
-        let with_choices = prepare_cuts(&mch, 4, 8);
+        let plain = prepare_cuts(&ChoiceNetwork::from_network(&net), 4, 8, CutCost::Structural, &CutCostModel::unit());
+        let with_choices = prepare_cuts(&mch, 4, 8, CutCost::Structural, &CutCostModel::unit());
         // Total cuts on representative nodes should not shrink when choices
         // are transferred.
         let plain_total: usize = net.gate_ids().map(|id| plain.of(id).len()).sum();
@@ -156,7 +268,7 @@ mod tests {
     fn inherited_cut_functions_are_correct() {
         let net = sample();
         let mch = build_mch(&net, &MchParams::area_oriented());
-        let cuts = prepare_cuts(&mch, 4, 8);
+        let cuts = prepare_cuts(&mch, 4, 8, CutCost::Hybrid, &CutCostModel::unit());
         // For every representative cut rooted at an output driver, check the
         // function against a direct cone evaluation through simulation of the
         // original network restricted to the cut leaves: here we simply verify
@@ -175,5 +287,81 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn leafbuf_remap_matches_vec_reference() {
+        // Every (choice cut, representative, phase) combination the transfer
+        // path would attempt must produce exactly the old Vec-based result.
+        for params in [MchParams::area_oriented(), MchParams::delay_oriented()] {
+            let net = sample();
+            let mch = build_mch(&net, &params);
+            let cuts = enumerate_cuts_with_model(mch.network(), &CutParams::new(4, 8), &CutCostModel::unit());
+            let mut checked = 0usize;
+            for repr in mch.representatives() {
+                for &(choice_node, phase) in mch.choices_of(repr) {
+                    for cut in cuts.of(choice_node).iter() {
+                        let fast = remap_choice_cut(cut, &mch, repr, phase);
+                        let slow = remap_choice_cut_reference(cut, &mch, repr, phase);
+                        match (&fast, &slow) {
+                            (None, None) => {}
+                            (Some(f), Some(s)) => {
+                                assert_eq!(f.root(), s.root(), "root for {cut}");
+                                assert_eq!(f.leaves(), s.leaves(), "leaves for {cut}");
+                                assert_eq!(f.function(), s.function(), "function for {cut}");
+                                checked += 1;
+                            }
+                            _ => panic!("fast/slow disagree on feasibility of {cut}"),
+                        }
+                    }
+                }
+            }
+            assert!(checked > 0, "no choice cut was actually remapped");
+        }
+    }
+
+    #[test]
+    fn remap_identifies_duplicate_leaves() {
+        // Force the duplicate-leaf slow path: a cut whose two leaves resolve
+        // to the same representative must collapse onto one variable, exactly
+        // as the Vec-based reference did.
+        let mut net = Network::new(NetworkKind::Aig);
+        let a = net.add_input();
+        let b = net.add_input();
+        let c = net.add_input();
+        let g1 = net.and2(a, b);
+        let h = net.and2(g1, c);
+        net.add_output(h);
+        let mut choice = ChoiceNetwork::from_network(&net);
+        // d1 duplicates g1 structurally (a & (a & b)); e's cut {g1, d1}
+        // resolves both leaves onto g1.
+        let (d1, e) = {
+            let n = choice.network_mut();
+            let ab = n.and2(a, b); // structural hash resolves onto g1
+            let d1 = n.and2(a, ab);
+            let e = n.and2(g1, d1);
+            (d1, e)
+        };
+        assert!(choice.add_choice(g1.node(), d1));
+        assert!(choice.add_choice(h.node(), e));
+        let cuts = enumerate_cuts_with_model(choice.network(), &CutParams::new(4, 8), &CutCostModel::unit());
+        let mut duplicate_seen = false;
+        for repr in choice.representatives() {
+            for &(choice_node, phase) in choice.choices_of(repr) {
+                for cut in cuts.of(choice_node).iter() {
+                    let fast = remap_choice_cut(cut, &choice, repr, phase);
+                    let slow = remap_choice_cut_reference(cut, &choice, repr, phase);
+                    if let Some(f) = &fast {
+                        duplicate_seen |= f.size() < cut.size();
+                    }
+                    assert_eq!(
+                        fast.as_ref().map(|c| (c.leaves().to_vec(), c.function().clone())),
+                        slow.as_ref().map(|c| (c.leaves().to_vec(), c.function().clone())),
+                        "mismatch for {cut}"
+                    );
+                }
+            }
+        }
+        assert!(duplicate_seen, "no cut exercised the duplicate-leaf path");
     }
 }

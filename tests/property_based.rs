@@ -9,9 +9,11 @@
 
 use mch::benchmarks::random_logic;
 use mch::choice::{build_mch, ChoiceNetwork, MchParams};
-use mch::cut::{enumerate_cuts, legacy_enumerate_cuts, CutParams};
+use mch::cut::{enumerate_cuts, legacy_enumerate_cuts, CutCost, CutParams};
 use mch::logic::{cec, convert, simulate_nodes, Network, NetworkKind, NodeId, Prng};
-use mch::mapper::{map_asic, map_lut, AsicMapParams, LutMapParams, MappingObjective};
+use mch::mapper::{
+    map_asic, map_lut, map_lut_network, AsicMapParams, LutMapParams, MappingObjective,
+};
 use mch::opt::{balance, compress2rs_like, graph_map, refactor, rewrite};
 use mch::techlib::{asap7_lite, LutLibrary};
 
@@ -94,6 +96,32 @@ fn graph_mapping_preserves_function() {
         let mapped = graph_map(&net, target, MappingObjective::Area);
         assert!(cec(&net, &mapped).holds(), "case {i}");
     });
+}
+
+#[test]
+fn hybrid_ranking_never_maps_deeper_than_structural() {
+    // The hybrid cut ranking keeps the unit-delay-best cuts at every node, so
+    // at the same cut limit the mapped LUT depth must never exceed what the
+    // static (size, leaves) ordering achieves — and the mapping must of
+    // course stay functionally correct.
+    use mch::techlib::LutLibrary;
+    for kind in [NetworkKind::Aig, NetworkKind::Xag, NetworkKind::Mig] {
+        for i in 0..CASES {
+            let net = convert(&arbitrary_network(i), kind);
+            let lut = LutLibrary::k6();
+            let base = LutMapParams::new(MappingObjective::Balanced);
+            let structural =
+                map_lut_network(&net, &lut, &base.with_ranking(CutCost::Structural));
+            let hybrid = map_lut_network(&net, &lut, &base.with_ranking(CutCost::Hybrid));
+            assert!(cec(&net, &hybrid.to_network()).holds(), "case {i} ({kind:?})");
+            assert!(
+                hybrid.level_count() <= structural.level_count(),
+                "case {i} ({kind:?}): hybrid depth {} > structural depth {}",
+                hybrid.level_count(),
+                structural.level_count()
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
