@@ -30,6 +30,12 @@ pub struct MchConfig {
     /// design (one per secondary representation) into the choice network, in
     /// addition to the per-node candidates of Algorithm 2.
     pub mix_optimized_snapshots: bool,
+    /// Worker threads handed to the mapper for level-parallel cut enumeration
+    /// and choice transfer (see [`mch_cut::enumerate_cuts_threaded`]). `1`
+    /// runs fully serial; every value produces identical mapping results.
+    /// The presets default to [`mch_cut::default_threads`] (the host's core
+    /// count, overridable through the `MCH_THREADS` environment variable).
+    pub threads: usize,
 }
 
 impl MchConfig {
@@ -42,6 +48,7 @@ impl MchConfig {
             mch: MchParams::balanced(),
             pre_optimization_rounds: 2,
             mix_optimized_snapshots: true,
+            threads: mch_cut::default_threads(),
         }
     }
 
@@ -54,6 +61,7 @@ impl MchConfig {
             mch: MchParams::delay_oriented(),
             pre_optimization_rounds: 2,
             mix_optimized_snapshots: true,
+            threads: mch_cut::default_threads(),
         }
     }
 
@@ -66,7 +74,15 @@ impl MchConfig {
             mch: MchParams::area_oriented(),
             pre_optimization_rounds: 2,
             mix_optimized_snapshots: true,
+            threads: mch_cut::default_threads(),
         }
+    }
+
+    /// Returns the same configuration with an explicit worker-thread count
+    /// for the mapper's level-parallel cut enumeration and choice transfer.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The FPGA flow of Table II: area-focused 6-LUT mapping over AIG + XMG
@@ -79,6 +95,7 @@ impl MchConfig {
             mch: MchParams::mixed(&[NetworkKind::Xmg]),
             pre_optimization_rounds: 0,
             mix_optimized_snapshots: true,
+            threads: mch_cut::default_threads(),
         }
     }
 }

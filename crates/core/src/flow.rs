@@ -149,7 +149,9 @@ pub fn asic_flow_mch(
 ) -> AsicFlowResult {
     let start = Instant::now();
     let choices = build_flow_choices(network, config);
-    let params = AsicMapParams::new(config.objective).with_ranking(config.cut_ranking);
+    let params = AsicMapParams::new(config.objective)
+        .with_ranking(config.cut_ranking)
+        .with_threads(config.threads);
     let netlist = map_asic(&choices, library, &params);
     finish_asic(config.name.clone(), network, netlist, library, start)
 }
@@ -177,7 +179,9 @@ pub fn lut_flow_baseline(
 pub fn lut_flow_mch(network: &Network, lut: &LutLibrary, config: &MchConfig) -> LutFlowResult {
     let start = Instant::now();
     let choices = build_flow_choices(network, config);
-    let params = LutMapParams::new(config.objective).with_ranking(config.cut_ranking);
+    let params = LutMapParams::new(config.objective)
+        .with_ranking(config.cut_ranking)
+        .with_threads(config.threads);
     let netlist = map_lut(&choices, lut, &params);
     finish_lut(config.name.clone(), network, netlist, start)
 }

@@ -23,6 +23,8 @@
 //! assert!(mch.area <= baseline.area + 1e-9 || mch.delay <= baseline.delay + 1e-9);
 //! ```
 
+#![warn(missing_docs)]
+
 mod config;
 mod flow;
 mod report;

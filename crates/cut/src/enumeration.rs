@@ -88,12 +88,13 @@ impl Default for CutParams {
 /// fanout counts the area-flow recurrence divides by.
 #[derive(Clone, Debug)]
 pub struct NetworkCuts {
-    params: CutParams,
-    model: CutCostModel,
-    arena: Vec<Cut>,
-    spans: Vec<(u32, u32)>,
-    node_costs: Vec<CutCosts>,
-    fanout_est: Vec<f32>,
+    pub(crate) params: CutParams,
+    pub(crate) model: CutCostModel,
+    pub(crate) arena: Vec<Cut>,
+    pub(crate) spans: Vec<(u32, u32)>,
+    pub(crate) node_costs: Vec<CutCosts>,
+    pub(crate) fanout_est: Vec<f32>,
+    pub(crate) wasted: usize,
 }
 
 impl NetworkCuts {
@@ -134,25 +135,72 @@ impl NetworkCuts {
     /// Adds `extra` cuts to `node`'s set, deduplicates, re-ranks with `cost`
     /// and truncates to `limit` (the trivial cut is always retained).
     ///
-    /// This is the choice-transfer entry point (Algorithm 3, lines 2–8): the
-    /// node's span is rebuilt at the arena tail, the old span is abandoned in
-    /// place (a small, bounded waste — only representative nodes with choices
-    /// are ever extended).
+    /// This is the choice-transfer entry point (Algorithm 3, lines 2–8). It is
+    /// [`ranked_extension`](NetworkCuts::ranked_extension) followed by
+    /// [`commit_extension`](NetworkCuts::commit_extension); the level-parallel
+    /// transfer in `mch_mapper` calls the two halves separately so the
+    /// read-only ranking can run on worker threads.
     pub fn extend_node(&mut self, node: NodeId, extra: &[Cut], limit: usize, cost: CutCost) {
+        if let Some(cuts) = self.ranked_extension(node, extra, limit, cost) {
+            self.commit_extension(node, cuts);
+        }
+    }
+
+    /// Computes — without mutating anything — the cut list
+    /// [`extend_node`](NetworkCuts::extend_node) would store for `node`: the
+    /// node's current cuts plus `extra`, deduplicated, ranked by `cost` and
+    /// truncated to `limit` (the trivial cut is always retained). Returns
+    /// `None` when `extra` is empty (nothing to do).
+    ///
+    /// This is the read-only half of the choice transfer; hand the result to
+    /// [`commit_extension`](NetworkCuts::commit_extension) to install it.
+    pub fn ranked_extension(
+        &self,
+        node: NodeId,
+        extra: &[Cut],
+        limit: usize,
+        cost: CutCost,
+    ) -> Option<Vec<Cut>> {
         if extra.is_empty() {
-            return;
+            return None;
         }
         let mut set = CutSet::from_cuts(self.of(node));
         for cut in extra {
             set.push_unchecked(cut.clone());
         }
         set.prioritize_by(limit, cost);
-        let start = self.arena.len() as u32;
-        let len = set.len() as u32;
-        self.arena.append(&mut set.into_vec());
-        self.spans[node.index()] = (start, len);
-        // Inherited cuts may improve the node's best estimates.
+        Some(set.into_vec())
+    }
+
+    /// Installs a cut list produced by
+    /// [`ranked_extension`](NetworkCuts::ranked_extension) for the same
+    /// `node`, replacing the node's span and refreshing its best cost
+    /// estimates.
+    ///
+    /// When the new list fits inside the node's existing arena span it is
+    /// written in place; only the surplus slots are abandoned. A longer list
+    /// is appended at the arena tail and the whole old span becomes waste.
+    /// Abandoned slots are tracked in
+    /// [`wasted_slots`](NetworkCuts::wasted_slots).
+    pub fn commit_extension(&mut self, node: NodeId, cuts: Vec<Cut>) {
         let idx = node.index();
+        let (start, old_len) = self.spans[idx];
+        let new_len = cuts.len() as u32;
+        if new_len <= old_len {
+            // Reuse the abandoned span: the new list overwrites its prefix.
+            let dst = &mut self.arena[start as usize..(start + new_len) as usize];
+            for (slot, cut) in dst.iter_mut().zip(cuts) {
+                *slot = cut;
+            }
+            self.spans[idx] = (start, new_len);
+            self.wasted += (old_len - new_len) as usize;
+        } else {
+            let new_start = self.arena.len() as u32;
+            self.arena.extend(cuts);
+            self.spans[idx] = (new_start, new_len);
+            self.wasted += old_len as usize;
+        }
+        // Inherited cuts may improve the node's best estimates.
         let mut best = self.node_costs[idx];
         for cut in self.of(node) {
             if cut.is_trivial() {
@@ -162,6 +210,56 @@ impl NetworkCuts {
             best.flow = best.flow.min(cut.area_flow());
         }
         self.node_costs[idx] = best;
+    }
+
+    /// Number of arena slots abandoned by
+    /// [`commit_extension`](NetworkCuts::commit_extension) (directly or via
+    /// [`extend_node`](NetworkCuts::extend_node)): slots no node's span covers
+    /// any more. Plain enumeration never wastes a slot; only representative
+    /// nodes whose cut sets grow past their original span leave waste behind.
+    /// The `cut_enum_parallel` bench reports this so choice-heavy regressions
+    /// are visible.
+    pub fn wasted_slots(&self) -> usize {
+        self.wasted
+    }
+
+    /// Returns `true` when `self` and `other` are identical down to the
+    /// internal representation: same parameters, cost model, arena layout,
+    /// spans, per-cut leaves/functions/costs (floats compared bit-for-bit),
+    /// node cost estimates, fanout estimates and waste counter.
+    ///
+    /// This is deliberately stricter than observational equality over
+    /// [`of`](NetworkCuts::of) — the parallel enumeration determinism tests
+    /// assert that serial and multi-threaded runs agree byte for byte.
+    pub fn identical(&self, other: &NetworkCuts) -> bool {
+        fn costs_identical(a: CutCosts, b: CutCosts) -> bool {
+            a.arrival == b.arrival && a.flow.to_bits() == b.flow.to_bits()
+        }
+        fn cut_identical(a: &Cut, b: &Cut) -> bool {
+            a == b && a.signature() == b.signature() && costs_identical(a.costs(), b.costs())
+        }
+        self.params == other.params
+            && self.model == other.model
+            && self.wasted == other.wasted
+            && self.spans == other.spans
+            && self.node_costs.len() == other.node_costs.len()
+            && self
+                .node_costs
+                .iter()
+                .zip(&other.node_costs)
+                .all(|(a, b)| costs_identical(*a, *b))
+            && self.fanout_est.len() == other.fanout_est.len()
+            && self
+                .fanout_est
+                .iter()
+                .zip(&other.fanout_est)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.arena.len() == other.arena.len()
+            && self
+                .arena
+                .iter()
+                .zip(&other.arena)
+                .all(|(a, b)| cut_identical(a, b))
     }
 }
 
@@ -318,6 +416,238 @@ fn proto_costs(
     }
 }
 
+/// Fanout estimates over the subject graph: gate fanins plus output uses,
+/// floored at one so the area-flow division never blows up on dead nodes.
+pub(crate) fn fanout_estimates(network: &Network) -> Vec<f32> {
+    let mut fanout_est = vec![0.0f32; network.len()];
+    for id in network.gate_ids() {
+        for f in network.node(id).fanins() {
+            fanout_est[f.node().index()] += 1.0;
+        }
+    }
+    for o in network.outputs() {
+        fanout_est[o.node().index()] += 1.0;
+    }
+    for v in &mut fanout_est {
+        *v = v.max(1.0);
+    }
+    fanout_est
+}
+
+/// Seeds the cut arena and spans with the constant node's cut and the trivial
+/// cuts of the primary inputs — the state both the serial and the parallel
+/// drivers start from before any gate is processed.
+pub(crate) fn seed_arena(network: &Network) -> (Vec<Cut>, Vec<(u32, u32)>) {
+    let mut spans = vec![(0u32, 0u32); network.len()];
+    let mut arena: Vec<Cut> = Vec::new();
+    arena.push(Cut::constant(NodeId::CONST0));
+    spans[0] = (0, 1);
+    for &pi in network.inputs() {
+        spans[pi.index()] = (arena.len() as u32, 1);
+        arena.push(Cut::trivial(pi));
+    }
+    (arena, spans)
+}
+
+/// Per-worker scratch of the enumeration kernel: the proto-cut cross-product
+/// buffer and the composed final cuts of the node being processed. The
+/// backing vectors reach the high-water cross-product size once and are then
+/// recycled across all nodes a worker handles.
+#[derive(Default)]
+pub(crate) struct NodeScratch {
+    protos: Vec<ProtoCut>,
+    pub(crate) final_cuts: Vec<Cut>,
+}
+
+impl NodeScratch {
+    pub(crate) fn new() -> Self {
+        NodeScratch::default()
+    }
+}
+
+/// Read-only view of the enumeration state a node's kernel needs: the cut
+/// arena, the per-node spans into it and the per-node best cost estimates.
+/// Every access the kernel performs through this view is to *fanin* data,
+/// i.e. to nodes of strictly smaller topological level — which is what makes
+/// processing all nodes of one level in parallel safe.
+#[derive(Copy, Clone)]
+pub(crate) struct EnumView<'a> {
+    pub(crate) arena: &'a [Cut],
+    pub(crate) spans: &'a [(u32, u32)],
+    pub(crate) node_costs: &'a [CutCosts],
+}
+
+/// Enumerates the cut set of one gate: cross product of the fanins' cuts,
+/// dominance filter, cost ranking, `cut_limit` truncation, function
+/// composition for the survivors and the always-present trivial cut.
+///
+/// The resulting cuts are left in `scratch.final_cuts` (cleared on entry) and
+/// the node's best arrival/area-flow estimates are returned; the caller owns
+/// writing both into its arena/spans/costs tables. Shared verbatim by the
+/// serial driver ([`enumerate_cuts_with_model`]) and the level-parallel
+/// driver ([`crate::enumerate_cuts_threaded`]), so the two cannot drift
+/// apart.
+pub(crate) fn enumerate_node(
+    network: &Network,
+    id: NodeId,
+    params: &CutParams,
+    model: &CutCostModel,
+    fanout_est: &[f32],
+    view: EnumView<'_>,
+    scratch: &mut NodeScratch,
+) -> CutCosts {
+    let node = network.node(id);
+    let fanins = node.fanins();
+    let protos = &mut scratch.protos;
+    let final_cuts = &mut scratch.final_cuts;
+    let arena = view.arena;
+    let node_costs = view.node_costs;
+    protos.clear();
+    final_cuts.clear();
+    let span_of = |f: Signal, spans: &[(u32, u32)]| {
+        let (s, l) = spans[f.node().index()];
+        (s as usize, l as usize)
+    };
+    match fanins.len() {
+        2 => {
+            let (sa, la) = span_of(fanins[0], view.spans);
+            let (sb, lb) = span_of(fanins[1], view.spans);
+            for ia in 0..la {
+                let ca = &arena[sa + ia];
+                for ib in 0..lb {
+                    let cb = &arena[sb + ib];
+                    let signature = ca.signature() | cb.signature();
+                    if signature.count_ones() as usize > params.cut_size {
+                        continue;
+                    }
+                    let Some(leaves) = LeafBuf::merge(ca.leaves(), cb.leaves(), params.cut_size)
+                    else {
+                        continue;
+                    };
+                    proto_insert(
+                        protos,
+                        leaves,
+                        signature,
+                        [ia as u16, ib as u16, 0],
+                        node_costs,
+                        fanout_est,
+                        model,
+                    );
+                }
+            }
+        }
+        3 => {
+            let (sa, la) = span_of(fanins[0], view.spans);
+            let (sb, lb) = span_of(fanins[1], view.spans);
+            let (sc, lc) = span_of(fanins[2], view.spans);
+            for ia in 0..la {
+                let ca = &arena[sa + ia];
+                for ib in 0..lb {
+                    let cb = &arena[sb + ib];
+                    // O(1) popcount pre-check on the pair before the
+                    // linear merge; the partial union is then merged with
+                    // each third cut without any dummy-cut clone.
+                    let sig_ab = ca.signature() | cb.signature();
+                    if sig_ab.count_ones() as usize > params.cut_size {
+                        continue;
+                    }
+                    let Some(ab) = LeafBuf::merge(ca.leaves(), cb.leaves(), params.cut_size)
+                    else {
+                        continue;
+                    };
+                    for ic in 0..lc {
+                        let cc = &arena[sc + ic];
+                        let signature = sig_ab | cc.signature();
+                        if signature.count_ones() as usize > params.cut_size {
+                            continue;
+                        }
+                        let Some(leaves) = LeafBuf::merge(&ab, cc.leaves(), params.cut_size)
+                        else {
+                            continue;
+                        };
+                        proto_insert(
+                            protos,
+                            leaves,
+                            signature,
+                            [ia as u16, ib as u16, ic as u16],
+                            node_costs,
+                            fanout_est,
+                            model,
+                        );
+                    }
+                }
+            }
+        }
+        _ => unreachable!("gates have 2 or 3 fanins"),
+    }
+    // Rank by the configured cost, then truncate to the per-node limit
+    // before any function is composed.
+    match params.cost {
+        CutCost::Structural => protos.sort_unstable_by(ProtoCut::cmp_structural),
+        CutCost::Depth => protos.sort_unstable_by(ProtoCut::cmp_depth),
+        CutCost::Area => protos.sort_unstable_by(ProtoCut::cmp_area),
+        CutCost::Hybrid => hybrid_select(
+            protos,
+            params.cut_limit,
+            ProtoCut::cmp_depth,
+            ProtoCut::cmp_area,
+            ProtoCut::cmp_structural,
+        ),
+    }
+    protos.truncate(params.cut_limit);
+    // The node's best estimates over the survivors; if the cut size was
+    // too tight for any structural cut, fall back to the fanin costs.
+    let mut best = CutCosts {
+        arrival: u32::MAX,
+        flow: f32::INFINITY,
+    };
+    for p in protos.iter() {
+        best.arrival = best.arrival.min(p.costs.arrival);
+        best.flow = best.flow.min(p.costs.flow);
+    }
+    if protos.is_empty() {
+        let mut arrival = 0u32;
+        let mut flow = model.area[fanins.len()];
+        for f in fanins {
+            let c = node_costs[f.node().index()];
+            arrival = arrival.max(c.arrival);
+            flow += c.flow / fanout_est[f.node().index()];
+        }
+        best = CutCosts {
+            arrival: arrival + model.delay[fanins.len()],
+            flow,
+        };
+    }
+    // Compose functions for the survivors only.
+    for p in protos.iter() {
+        let fanin_cut = |i: usize| {
+            let (s, _) = span_of(fanins[i], view.spans);
+            &arena[s + p.src[i] as usize]
+        };
+        let f = match fanins.len() {
+            2 => compose_function(
+                node.kind(),
+                fanins,
+                &[fanin_cut(0), fanin_cut(1)],
+                &p.leaves,
+            ),
+            _ => compose_function(
+                node.kind(),
+                fanins,
+                &[fanin_cut(0), fanin_cut(1), fanin_cut(2)],
+                &p.leaves,
+            ),
+        };
+        final_cuts.push(Cut::with_costs(id, &p.leaves, f, p.costs));
+    }
+    // The trivial cut is always available as a fallback; it carries the
+    // node's best estimates (using it does not change depth or flow).
+    let mut trivial = Cut::trivial(id);
+    trivial.set_costs(best);
+    final_cuts.push(trivial);
+    best
+}
+
 /// Enumerates priority cuts for every node of `network`.
 ///
 /// Each gate's cut set is built from the cross product of its fanins' cut
@@ -326,6 +656,9 @@ fn proto_costs(
 /// contains the node's trivial cut. Truth tables are computed for every
 /// stored cut (and only for stored cuts: candidates rejected by dominance or
 /// the priority truncation never pay for function composition).
+///
+/// This is the single-threaded driver; see [`crate::enumerate_cuts_threaded`]
+/// for the level-parallel one (which produces identical results).
 pub fn enumerate_cuts(network: &Network, params: &CutParams) -> NetworkCuts {
     enumerate_cuts_with_model(network, params, &CutCostModel::unit())
 }
@@ -339,186 +672,29 @@ pub fn enumerate_cuts_with_model(
     params: &CutParams,
     model: &CutCostModel,
 ) -> NetworkCuts {
-    let n = network.len();
-    let mut spans = vec![(0u32, 0u32); n];
-    let mut node_costs = vec![CutCosts::ZERO; n];
-    // Fanout estimates over the subject graph: gate fanins plus output uses,
-    // floored at one so the area-flow division never blows up on dead nodes.
-    let mut fanout_est = vec![0.0f32; n];
+    let fanout_est = fanout_estimates(network);
+    let (mut arena, mut spans) = seed_arena(network);
+    let mut node_costs = vec![CutCosts::ZERO; network.len()];
+    // One scratch reused across every gate (the parallel driver holds one per
+    // worker instead).
+    let mut scratch = NodeScratch::new();
     for id in network.gate_ids() {
-        for f in network.node(id).fanins() {
-            fanout_est[f.node().index()] += 1.0;
-        }
-    }
-    for o in network.outputs() {
-        fanout_est[o.node().index()] += 1.0;
-    }
-    for v in &mut fanout_est {
-        *v = v.max(1.0);
-    }
-
-    let mut arena: Vec<Cut> = Vec::new();
-    // Constant node and primary inputs.
-    arena.push(Cut::constant(NodeId::CONST0));
-    spans[0] = (0, 1);
-    for &pi in network.inputs() {
-        spans[pi.index()] = (arena.len() as u32, 1);
-        arena.push(Cut::trivial(pi));
-    }
-    // Scratch buffers reused across every gate; their backing vectors reach
-    // the high-water cross-product size once and are then recycled.
-    let mut protos: Vec<ProtoCut> = Vec::new();
-    let mut final_cuts: Vec<Cut> = Vec::new();
-    for id in network.gate_ids() {
-        let node = network.node(id);
-        let fanins = node.fanins();
-        protos.clear();
-        final_cuts.clear();
-        let span_of = |f: Signal, spans: &[(u32, u32)]| {
-            let (s, l) = spans[f.node().index()];
-            (s as usize, l as usize)
-        };
-        match fanins.len() {
-            2 => {
-                let (sa, la) = span_of(fanins[0], &spans);
-                let (sb, lb) = span_of(fanins[1], &spans);
-                for ia in 0..la {
-                    let ca = &arena[sa + ia];
-                    for ib in 0..lb {
-                        let cb = &arena[sb + ib];
-                        let signature = ca.signature() | cb.signature();
-                        if signature.count_ones() as usize > params.cut_size {
-                            continue;
-                        }
-                        let Some(leaves) =
-                            LeafBuf::merge(ca.leaves(), cb.leaves(), params.cut_size)
-                        else {
-                            continue;
-                        };
-                        proto_insert(
-                            &mut protos,
-                            leaves,
-                            signature,
-                            [ia as u16, ib as u16, 0],
-                            &node_costs,
-                            &fanout_est,
-                            model,
-                        );
-                    }
-                }
-            }
-            3 => {
-                let (sa, la) = span_of(fanins[0], &spans);
-                let (sb, lb) = span_of(fanins[1], &spans);
-                let (sc, lc) = span_of(fanins[2], &spans);
-                for ia in 0..la {
-                    let ca = &arena[sa + ia];
-                    for ib in 0..lb {
-                        let cb = &arena[sb + ib];
-                        // O(1) popcount pre-check on the pair before the
-                        // linear merge; the partial union is then merged with
-                        // each third cut without any dummy-cut clone.
-                        let sig_ab = ca.signature() | cb.signature();
-                        if sig_ab.count_ones() as usize > params.cut_size {
-                            continue;
-                        }
-                        let Some(ab) = LeafBuf::merge(ca.leaves(), cb.leaves(), params.cut_size)
-                        else {
-                            continue;
-                        };
-                        for ic in 0..lc {
-                            let cc = &arena[sc + ic];
-                            let signature = sig_ab | cc.signature();
-                            if signature.count_ones() as usize > params.cut_size {
-                                continue;
-                            }
-                            let Some(leaves) = LeafBuf::merge(&ab, cc.leaves(), params.cut_size)
-                            else {
-                                continue;
-                            };
-                            proto_insert(
-                                &mut protos,
-                                leaves,
-                                signature,
-                                [ia as u16, ib as u16, ic as u16],
-                                &node_costs,
-                                &fanout_est,
-                                model,
-                            );
-                        }
-                    }
-                }
-            }
-            _ => unreachable!("gates have 2 or 3 fanins"),
-        }
-        // Rank by the configured cost, then truncate to the per-node limit
-        // before any function is composed.
-        match params.cost {
-            CutCost::Structural => protos.sort_unstable_by(ProtoCut::cmp_structural),
-            CutCost::Depth => protos.sort_unstable_by(ProtoCut::cmp_depth),
-            CutCost::Area => protos.sort_unstable_by(ProtoCut::cmp_area),
-            CutCost::Hybrid => hybrid_select(
-                &mut protos,
-                params.cut_limit,
-                ProtoCut::cmp_depth,
-                ProtoCut::cmp_area,
-                ProtoCut::cmp_structural,
-            ),
-        }
-        protos.truncate(params.cut_limit);
-        // The node's best estimates over the survivors; if the cut size was
-        // too tight for any structural cut, fall back to the fanin costs.
-        let mut best = CutCosts {
-            arrival: u32::MAX,
-            flow: f32::INFINITY,
-        };
-        for p in &protos {
-            best.arrival = best.arrival.min(p.costs.arrival);
-            best.flow = best.flow.min(p.costs.flow);
-        }
-        if protos.is_empty() {
-            let mut arrival = 0u32;
-            let mut flow = model.area[fanins.len()];
-            for f in fanins {
-                let c = node_costs[f.node().index()];
-                arrival = arrival.max(c.arrival);
-                flow += c.flow / fanout_est[f.node().index()];
-            }
-            best = CutCosts {
-                arrival: arrival + model.delay[fanins.len()],
-                flow,
-            };
-        }
+        let best = enumerate_node(
+            network,
+            id,
+            params,
+            model,
+            &fanout_est,
+            EnumView {
+                arena: &arena,
+                spans: &spans,
+                node_costs: &node_costs,
+            },
+            &mut scratch,
+        );
         node_costs[id.index()] = best;
-        // Compose functions for the survivors only.
-        for p in &protos {
-            let fanin_cut = |i: usize| {
-                let (s, _) = span_of(fanins[i], &spans);
-                &arena[s + p.src[i] as usize]
-            };
-            let f = match fanins.len() {
-                2 => compose_function(
-                    node.kind(),
-                    fanins,
-                    &[fanin_cut(0), fanin_cut(1)],
-                    &p.leaves,
-                ),
-                _ => compose_function(
-                    node.kind(),
-                    fanins,
-                    &[fanin_cut(0), fanin_cut(1), fanin_cut(2)],
-                    &p.leaves,
-                ),
-            };
-            final_cuts.push(Cut::with_costs(id, &p.leaves, f, p.costs));
-        }
-        // The trivial cut is always available as a fallback; it carries the
-        // node's best estimates (using it does not change depth or flow).
-        let mut trivial = Cut::trivial(id);
-        trivial.set_costs(best);
-        final_cuts.push(trivial);
-        spans[id.index()] = (arena.len() as u32, final_cuts.len() as u32);
-        arena.append(&mut final_cuts);
+        spans[id.index()] = (arena.len() as u32, scratch.final_cuts.len() as u32);
+        arena.append(&mut scratch.final_cuts);
     }
     NetworkCuts {
         params: *params,
@@ -527,6 +703,7 @@ pub fn enumerate_cuts_with_model(
         spans,
         node_costs,
         fanout_est,
+        wasted: 0,
     }
 }
 
@@ -736,6 +913,48 @@ mod tests {
             min_flow(all.of(root)),
             "hybrid truncation lost the area-flow-best cut"
         );
+    }
+
+    #[test]
+    fn commit_extension_reuses_span_and_tracks_waste() {
+        let (n, s, _) = adder_bit();
+        let mut cuts = enumerate_cuts(&n, &CutParams::default());
+        assert_eq!(cuts.wasted_slots(), 0, "plain enumeration wastes nothing");
+        let root = s.node();
+        let before = cuts.of(root).len();
+        assert!(before >= 3, "test needs a few cuts to shrink");
+        let pis: Vec<NodeId> = n.inputs().to_vec();
+        let pi_cut = Cut::with_costs(root, &pis, TruthTable::zeros(3), cuts.leaf_costs(&pis));
+
+        // Shrink: a tighter limit makes the new list fit inside the existing
+        // span, so it is rewritten in place and only the surplus is waste.
+        let limit = before - 2;
+        cuts.extend_node(root, &[pi_cut], limit, CutCost::Structural);
+        let after = cuts.of(root).len();
+        assert!(after <= limit);
+        assert_eq!(cuts.wasted_slots(), before - after);
+
+        // Same length: extending with an already-present cut rewrites the
+        // span in place without any new waste.
+        let wasted = cuts.wasted_slots();
+        let dup = cuts.of(root)[0].clone();
+        let len = cuts.of(root).len();
+        cuts.extend_node(root, &[dup], 16, CutCost::Structural);
+        assert_eq!(cuts.of(root).len(), len);
+        assert_eq!(cuts.wasted_slots(), wasted);
+
+        // Grow: a genuinely new cut pushes the list past the current span,
+        // which moves it to the arena tail and abandons the whole old span.
+        let single = Cut::with_costs(
+            root,
+            &pis[..1],
+            TruthTable::var(1, 0),
+            cuts.leaf_costs(&pis[..1]),
+        );
+        let cur = cuts.of(root).len();
+        cuts.extend_node(root, &[single], 16, CutCost::Structural);
+        assert_eq!(cuts.of(root).len(), cur + 1);
+        assert_eq!(cuts.wasted_slots(), wasted + cur);
     }
 
     #[test]

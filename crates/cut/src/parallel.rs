@@ -1,0 +1,510 @@
+//! Level-parallel cut enumeration on a dependency-free scoped worker pool.
+//!
+//! Priority-cut enumeration is embarrassingly parallel *within* a topological
+//! level: a gate's cut set depends only on its fanins' cut sets, and every
+//! fanin sits at a strictly smaller level. This module exploits exactly that
+//! structure:
+//!
+//! 1. [`mch_logic::levelize`] groups the gates by level;
+//! 2. a small worker pool — plain [`std::thread::scope`] threads, no external
+//!    dependencies — is spawned once and fed one level at a time through
+//!    [`std::sync::mpsc`] channels ([`level_parallel`] is the generic
+//!    harness);
+//! 3. each worker runs the same per-node kernel as the serial driver
+//!    (`enumerate_node`) over a contiguous, id-ordered shard of the level,
+//!    with its own `ProtoCut`/`LeafBuf` scratch, reading the already-complete
+//!    lower levels through a shared [`RwLock`];
+//! 4. the coordinator merges the shards back in chunk order (which is node-id
+//!    order within the level) before releasing the next level.
+//!
+//! # Determinism
+//!
+//! Worker output order is fixed by node id: shards are contiguous id-ordered
+//! slices and results are committed in shard order, so the cuts of every node
+//! are exactly the ones the serial driver computes, ranked identically. After
+//! the last level the arena is canonicalized into the serial driver's layout
+//! (constant node, then primary inputs, then gates in id order), which makes
+//! a parallel [`NetworkCuts`] **byte-identical** to a serial one — see
+//! [`NetworkCuts::identical`] and the determinism tests. Thread count, core
+//! count and scheduling cannot change the result.
+//!
+//! # When to use `threads = 1`
+//!
+//! `threads = 1` (or a network whose widest level is below the sharding
+//! threshold) selects the serial driver unchanged — no pool, no locks, no
+//! extra allocation. Prefer it for small networks, for latency-sensitive
+//! single-circuit calls where the pool's startup cost (a few thread spawns
+//! plus one channel round-trip per level) is comparable to the enumeration
+//! itself, and when an outer loop already parallelizes across circuits.
+
+use crate::enumeration::{
+    enumerate_node, fanout_estimates, seed_arena, EnumView, NodeScratch,
+};
+use crate::{enumerate_cuts_with_model, Cut, CutCostModel, CutCosts, CutParams, NetworkCuts};
+use mch_logic::{levelize, Network, NodeId};
+use std::num::NonZeroUsize;
+use std::sync::{mpsc, RwLock};
+
+/// Smallest level (or representative batch) worth sharding across the pool;
+/// anything narrower runs inline on the coordinating thread, which keeps
+/// deep, narrow circuits from paying one channel round-trip per tiny level.
+pub(crate) const MIN_PARALLEL_LEVEL: usize = 16;
+
+/// Chunks handed out per worker and level when a level is sharded. The
+/// assignment is static (chunk `c` goes to worker `c % threads` up front, no
+/// stealing), but consecutive chunks land on *different* workers, so a
+/// contiguous id region of expensive nodes (wide cross products cluster that
+/// way) is spread across the pool instead of serializing on one worker.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// The default worker count for parallel cut enumeration: the `MCH_THREADS`
+/// environment variable when set to a positive integer (this is how CI runs
+/// the whole test suite serially and multi-threaded), otherwise
+/// [`std::thread::available_parallelism`], floored at 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("MCH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// One unit of work handed to a pool worker: chunk `chunk` of level `level`,
+/// covering `items[start..end]` of that level's slice.
+struct Task {
+    chunk: usize,
+    level: usize,
+    start: usize,
+    end: usize,
+}
+
+/// Runs `work` over every item of every level, levels strictly in order,
+/// items of one level sharded across a scoped worker pool of `threads`
+/// threads — the level-synchronized harness behind
+/// [`enumerate_cuts_threaded`] and the choice-transfer sharding in
+/// `mch_mapper`.
+///
+/// * `init` builds one per-worker scratch value (called once per worker, plus
+///   once on the coordinator for inline levels);
+/// * `work` maps a contiguous, order-preserving shard of a level to one
+///   result (it runs concurrently with other shards of the *same* level, so
+///   it must only read state written by earlier levels — wrap shared state in
+///   a [`RwLock`] and take a read lock per shard);
+/// * `commit` receives each level's results **in shard order** (which
+///   preserves item order) after all of that level's shards finished, and is
+///   the only place that may write shared state.
+///
+/// Levels shorter than `min_shard` — and everything, when `threads <= 1` or
+/// no level reaches `min_shard` — run inline on the coordinating thread in
+/// the very same order, so the observable commit sequence is independent of
+/// the thread count. Empty levels are skipped.
+///
+/// # Panics
+///
+/// A panic inside `work` is caught on the worker, forwarded to the
+/// coordinator and re-raised there with its original payload, so callers
+/// observe it like a plain serial panic.
+pub fn level_parallel<T, S, R>(
+    levels: &[Vec<T>],
+    threads: usize,
+    min_shard: usize,
+    init: impl Fn() -> S + Sync,
+    work: impl Fn(&mut S, &[T]) -> R + Sync,
+    mut commit: impl FnMut(Vec<R>),
+) where
+    T: Sync,
+    R: Send,
+{
+    let min_shard = min_shard.max(2);
+    let widest = levels.iter().map(Vec::len).max().unwrap_or(0);
+    if threads <= 1 || widest < min_shard {
+        let mut scratch = init();
+        for level in levels {
+            if level.is_empty() {
+                continue;
+            }
+            let result = work(&mut scratch, level);
+            commit(vec![result]);
+        }
+        return;
+    }
+
+    let init = &init;
+    let work = &work;
+    std::thread::scope(|scope| {
+        // Results travel as `thread::Result` so a panicking worker reports
+        // its payload through the channel instead of leaving the coordinator
+        // blocked until the timeout; the coordinator resumes the panic with
+        // its original payload immediately.
+        let (result_tx, result_rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+        let mut task_txs: Vec<mpsc::Sender<Task>> = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = mpsc::channel::<Task>();
+            task_txs.push(tx);
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                let mut scratch = init();
+                while let Ok(task) = rx.recv() {
+                    let shard = &levels[task.level][task.start..task.end];
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || work(&mut scratch, shard),
+                    ));
+                    let died = result.is_err();
+                    if result_tx.send((task.chunk, result)).is_err() || died {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+
+        // The coordinator's own scratch, for levels too narrow to shard.
+        let mut inline_scratch: Option<S> = None;
+        for (level_index, level) in levels.iter().enumerate() {
+            if level.is_empty() {
+                continue;
+            }
+            if level.len() < min_shard {
+                let scratch = inline_scratch.get_or_insert_with(init);
+                let result = work(scratch, level);
+                commit(vec![result]);
+                continue;
+            }
+            let chunk_size = level
+                .len()
+                .div_ceil(threads * CHUNKS_PER_WORKER)
+                .max(min_shard / 2);
+            let chunk_count = level.len().div_ceil(chunk_size);
+            for chunk in 0..chunk_count {
+                let start = chunk * chunk_size;
+                let end = (start + chunk_size).min(level.len());
+                let task = Task {
+                    chunk,
+                    level: level_index,
+                    start,
+                    end,
+                };
+                if task_txs[chunk % threads].send(task).is_err() {
+                    // A worker only hangs up after forwarding a panic; its
+                    // payload is already queued on the result channel (the
+                    // send happens before the hangup) — find and re-raise it
+                    // rather than masking it with a generic message.
+                    raise_forwarded_panic(&result_rx);
+                }
+            }
+            let mut results: Vec<Option<R>> = (0..chunk_count).map(|_| None).collect();
+            for _ in 0..chunk_count {
+                // Plain blocking recv: a worker cannot vanish silently — a
+                // panic inside `work` is caught and forwarded, and if every
+                // worker somehow exited, all senders drop and recv errors.
+                let (chunk, result) = result_rx
+                    .recv()
+                    .expect("every pool worker exited without reporting a shard");
+                match result {
+                    Ok(r) => results[chunk] = Some(r),
+                    // Re-raise the worker's panic on the coordinator with its
+                    // original payload (the scope would otherwise surface it
+                    // only at join).
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            commit(
+                results
+                    .into_iter()
+                    .map(|r| r.expect("every chunk index reports exactly once"))
+                    .collect(),
+            );
+        }
+        // Closing the task channels lets the workers drain and exit before
+        // the scope joins them.
+        drop(task_txs);
+    });
+}
+
+/// Scans the result channel for a forwarded worker panic and re-raises it
+/// with its original payload; called when a task send fails, which can only
+/// happen after a worker panicked and hung up. Panics with a generic message
+/// if no payload is found (should be unreachable).
+fn raise_forwarded_panic<R>(result_rx: &mpsc::Receiver<(usize, std::thread::Result<R>)>) -> ! {
+    while let Ok((_, result)) = result_rx.try_recv() {
+        if let Err(payload) = result {
+            std::panic::resume_unwind(payload);
+        }
+    }
+    panic!("pool worker exited while the coordinator was dispatching");
+}
+
+/// Mutable enumeration state shared between the coordinator and the pool:
+/// workers take read locks while processing a level, the coordinator takes
+/// the write lock to merge each finished level.
+struct EnumState {
+    arena: Vec<Cut>,
+    spans: Vec<(u32, u32)>,
+    node_costs: Vec<CutCosts>,
+}
+
+/// One worker's result for one shard: per node the id, how many cuts it
+/// stored and its best cost estimates, plus all those cuts concatenated in
+/// node order.
+struct ShardCuts {
+    nodes: Vec<(NodeId, u32, CutCosts)>,
+    cuts: Vec<Cut>,
+}
+
+/// [`enumerate_cuts_with_model`] sharded over `threads` workers, one
+/// topological level at a time.
+///
+/// The result is byte-identical to the serial driver's — same cuts, same
+/// ranking, same costs, same arena layout (see the module docs on
+/// determinism). `threads = 1` (and any network whose widest level is too
+/// narrow to shard) *is* the serial driver; `threads = 0` is treated as 1.
+/// Use [`default_threads`] to follow the host's core count.
+pub fn enumerate_cuts_threaded(
+    network: &Network,
+    params: &CutParams,
+    model: &CutCostModel,
+    threads: usize,
+) -> NetworkCuts {
+    if threads <= 1 {
+        return enumerate_cuts_with_model(network, params, model);
+    }
+    let levels = levelize(network);
+    if levels.max_width() < MIN_PARALLEL_LEVEL {
+        return enumerate_cuts_with_model(network, params, model);
+    }
+    let fanout_est = fanout_estimates(network);
+    let (arena, spans) = seed_arena(network);
+    let shared = RwLock::new(EnumState {
+        arena,
+        spans,
+        node_costs: vec![CutCosts::ZERO; network.len()],
+    });
+    level_parallel(
+        levels.as_slices(),
+        threads,
+        MIN_PARALLEL_LEVEL,
+        NodeScratch::new,
+        |scratch: &mut NodeScratch, shard: &[NodeId]| {
+            let state = shared.read().expect("enumeration state poisoned");
+            let mut out = ShardCuts {
+                nodes: Vec::with_capacity(shard.len()),
+                cuts: Vec::new(),
+            };
+            for &id in shard {
+                let best = enumerate_node(
+                    network,
+                    id,
+                    params,
+                    model,
+                    &fanout_est,
+                    EnumView {
+                        arena: &state.arena,
+                        spans: &state.spans,
+                        node_costs: &state.node_costs,
+                    },
+                    scratch,
+                );
+                out.nodes.push((id, scratch.final_cuts.len() as u32, best));
+                out.cuts.append(&mut scratch.final_cuts);
+            }
+            out
+        },
+        |shards: Vec<ShardCuts>| {
+            let mut state = shared.write().expect("enumeration state poisoned");
+            for mut shard in shards {
+                let mut start = state.arena.len() as u32;
+                state.arena.append(&mut shard.cuts);
+                for (id, len, best) in shard.nodes {
+                    state.spans[id.index()] = (start, len);
+                    state.node_costs[id.index()] = best;
+                    start += len;
+                }
+            }
+        },
+    );
+    let state = shared
+        .into_inner()
+        .expect("enumeration state poisoned");
+    canonicalize(network, params, model, state, fanout_est)
+}
+
+/// Rewrites the level-major arena the parallel driver builds into the serial
+/// driver's layout — constant node, primary inputs, then gates in ascending
+/// id order — so serial and parallel enumerations are indistinguishable even
+/// through the internal representation. One O(total cuts) copy, a small
+/// constant fraction of enumeration time.
+fn canonicalize(
+    network: &Network,
+    params: &CutParams,
+    model: &CutCostModel,
+    state: EnumState,
+    fanout_est: Vec<f32>,
+) -> NetworkCuts {
+    let EnumState {
+        arena: level_arena,
+        spans: level_spans,
+        node_costs,
+    } = state;
+    let mut arena: Vec<Cut> = Vec::with_capacity(level_arena.len());
+    let mut spans = vec![(0u32, 0u32); network.len()];
+    let ids = std::iter::once(NodeId::CONST0)
+        .chain(network.inputs().iter().copied())
+        .chain(network.gate_ids());
+    for id in ids {
+        let (start, len) = level_spans[id.index()];
+        spans[id.index()] = (arena.len() as u32, len);
+        arena.extend_from_slice(&level_arena[start as usize..(start + len) as usize]);
+    }
+    NetworkCuts {
+        params: *params,
+        model: *model,
+        arena,
+        spans,
+        node_costs,
+        fanout_est,
+        wasted: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mch_logic::{Network, NetworkKind, Prng, Signal};
+
+    /// A wide, layered random network (every level far above the sharding
+    /// threshold) — small enough for tests, wide enough that the pool
+    /// genuinely shards.
+    fn wide_network(seed: u64, kind: NetworkKind) -> Network {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut net = Network::new(kind);
+        let mut layer: Vec<Signal> = net.add_inputs(48);
+        for _ in 0..6 {
+            let mut next = Vec::new();
+            for _ in 0..48 {
+                let a = layer[rng.gen_range(0..layer.len())];
+                let b = layer[rng.gen_range(0..layer.len())];
+                let a = a.xor_complement(rng.gen_bool(0.4));
+                let b = b.xor_complement(rng.gen_bool(0.4));
+                let s = match rng.gen_range(0..3) {
+                    0 => net.and(a, b),
+                    1 => net.or(a, b),
+                    _ => net.xor(a, b),
+                };
+                next.push(s);
+            }
+            layer = next;
+        }
+        for &s in layer.iter().take(16) {
+            net.add_output(s);
+        }
+        net
+    }
+
+    #[test]
+    fn parallel_is_byte_identical_to_serial() {
+        for kind in [NetworkKind::Aig, NetworkKind::Xag, NetworkKind::Mig] {
+            let net = wide_network(0xD5, kind);
+            let params = CutParams::new(6, 8);
+            let serial = enumerate_cuts_with_model(&net, &params, &CutCostModel::unit());
+            for threads in [2, 3, 4, 8] {
+                let parallel =
+                    enumerate_cuts_threaded(&net, &params, &CutCostModel::unit(), threads);
+                assert!(
+                    serial.identical(&parallel),
+                    "{kind:?} with {threads} threads diverged from serial"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_thread_is_the_serial_path() {
+        let net = wide_network(0x11, NetworkKind::Aig);
+        let params = CutParams::default();
+        let serial = enumerate_cuts_with_model(&net, &params, &CutCostModel::unit());
+        for threads in [0, 1] {
+            let same = enumerate_cuts_threaded(&net, &params, &CutCostModel::unit(), threads);
+            assert!(serial.identical(&same));
+        }
+    }
+
+    #[test]
+    fn narrow_networks_fall_back_to_serial() {
+        // A chain: every level has one node, far below the shard threshold.
+        let mut net = Network::new(NetworkKind::Aig);
+        let xs = net.add_inputs(4);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = net.and(acc, x);
+        }
+        net.add_output(acc);
+        let params = CutParams::default();
+        let serial = enumerate_cuts_with_model(&net, &params, &CutCostModel::unit());
+        let parallel = enumerate_cuts_threaded(&net, &params, &CutCostModel::unit(), 8);
+        assert!(serial.identical(&parallel));
+    }
+
+    #[test]
+    fn level_parallel_commits_in_item_order() {
+        // Four levels of unequal width; the concatenated commit order must be
+        // exactly the level-major item order regardless of thread count.
+        let levels: Vec<Vec<u32>> = vec![
+            (0..40).collect(),
+            (40..41).collect(),
+            vec![],
+            (41..120).collect(),
+        ];
+        let expect: Vec<u32> = levels.iter().flatten().copied().collect();
+        for threads in [1, 2, 4, 7] {
+            let seen = std::sync::Mutex::new(Vec::new());
+            level_parallel(
+                &levels,
+                threads,
+                8,
+                || (),
+                |_, shard: &[u32]| shard.to_vec(),
+                |results| {
+                    let mut seen = seen.lock().unwrap();
+                    for r in results {
+                        seen.extend(r);
+                    }
+                },
+            );
+            assert_eq!(*seen.lock().unwrap(), expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_its_payload() {
+        let levels: Vec<Vec<u32>> = vec![(0..64).collect()];
+        let caught = std::panic::catch_unwind(|| {
+            level_parallel(
+                &levels,
+                4,
+                8,
+                || (),
+                |_, shard: &[u32]| {
+                    if shard.contains(&63) {
+                        panic!("worker exploded on purpose");
+                    }
+                    shard.len()
+                },
+                |_| {},
+            );
+        });
+        let payload = caught.expect_err("the worker panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_default();
+        assert_eq!(msg, "worker exploded on purpose");
+    }
+}

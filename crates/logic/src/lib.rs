@@ -5,7 +5,8 @@
 //! * [`Network`] — an append-only, structurally hashed DAG supporting AND,
 //!   XOR and MAJ primitives, covering AIG, XAG, MIG, XMG and mixed networks;
 //! * [`TruthTable`] and NPN classification ([`npn_canonical`]);
-//! * traversal helpers (fanouts, TFI/TFO, [`mffc`], [`critical_path_nodes`]);
+//! * traversal helpers (fanouts, TFI/TFO, [`mffc`], [`critical_path_nodes`],
+//!   topological [`levelize`] grouping);
 //! * word-parallel simulation and equivalence checking ([`cec`]);
 //! * one-to-one conversion between representations ([`convert`]).
 //!
@@ -30,6 +31,8 @@
 //! assert!(cec(&aig, &xmg).holds());
 //! ```
 
+#![warn(missing_docs)]
+
 mod convert;
 mod gate;
 mod network;
@@ -52,6 +55,7 @@ pub use simulate::{
 };
 pub use stats::NetworkStats;
 pub use traversal::{
-    critical_path_nodes, mffc, transitive_fanin, transitive_fanout, Fanouts, Mffc,
+    critical_path_nodes, levelize, mffc, transitive_fanin, transitive_fanout, Fanouts, Levels,
+    Mffc,
 };
 pub use truth::TruthTable;

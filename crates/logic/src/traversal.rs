@@ -1,8 +1,87 @@
-//! Graph traversal utilities: fanouts, transitive fan-in/out cones, MFFCs and
-//! critical-path extraction.
+//! Graph traversal utilities: fanouts, transitive fan-in/out cones, MFFCs,
+//! critical-path extraction and topological levelization.
 
 use crate::{Network, NodeId};
 use std::collections::HashSet;
+
+/// The gate nodes of a network grouped by topological level.
+///
+/// Level `l` holds every gate whose longest path from the primary inputs has
+/// exactly `l` gates on it (the level stored on each [`crate::Node`]); the
+/// constant node and the primary inputs (all at level 0) are not included.
+/// Within one level the nodes are sorted by id, and because a gate's fanins
+/// always have strictly smaller levels, all gates of one level can be
+/// processed independently of each other once every earlier level is done —
+/// this is the dependency structure the level-parallel cut enumeration in
+/// `mch_cut` shards over.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Levels {
+    levels: Vec<Vec<NodeId>>,
+    gates: usize,
+}
+
+impl Levels {
+    /// Number of level groups (the maximum gate level of the network).
+    /// Valid arguments to [`Levels::level`] are `0..num_levels()`.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The gate nodes of the `index`-th group, i.e. the gates whose
+    /// topological level is `index + 1` (group 0 holds the level-1 gates,
+    /// those fed by primary inputs only). Prefer [`Levels::iter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_levels()`.
+    pub fn level(&self, index: usize) -> &[NodeId] {
+        &self.levels[index]
+    }
+
+    /// Iterates over the levels in ascending order, shallowest first. Every
+    /// gate of the network appears in exactly one yielded slice, and the
+    /// fanins of a yielded gate only ever appear in earlier slices (or are
+    /// primary inputs / the constant node).
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.levels.iter().map(Vec::as_slice)
+    }
+
+    /// The level groups as a slice of id-sorted node lists (ascending level).
+    pub fn as_slices(&self) -> &[Vec<NodeId>] {
+        &self.levels
+    }
+
+    /// Total number of gates across all levels.
+    pub fn gate_count(&self) -> usize {
+        self.gates
+    }
+
+    /// The widest level's node count (0 for a gate-free network). This bounds
+    /// how much parallelism level-sharding can extract.
+    pub fn max_width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Groups the gate nodes of `network` by topological level (see [`Levels`]).
+///
+/// Levels are read off the per-node level the network maintains during
+/// construction, so this is a single O(n) bucketing pass; iterating gate ids
+/// in ascending order keeps every bucket sorted by id without an extra sort.
+pub fn levelize(network: &Network) -> Levels {
+    let mut levels: Vec<Vec<NodeId>> = Vec::new();
+    let mut gates = 0usize;
+    for id in network.gate_ids() {
+        let level = network.level(id) as usize;
+        debug_assert!(level >= 1, "gates sit strictly above the inputs");
+        if levels.len() < level {
+            levels.resize_with(level, Vec::new);
+        }
+        levels[level - 1].push(id);
+        gates += 1;
+    }
+    Levels { levels, gates }
+}
 
 /// Explicit fanout lists for every node of a network.
 ///
@@ -255,6 +334,66 @@ mod tests {
         let cone = mffc(&n, abc.node(), 8);
         assert_eq!(cone.size(), 2);
         assert_eq!(cone.leaves.len(), 3);
+    }
+
+    #[test]
+    fn levelize_groups_gates_by_level() {
+        let n = chain_network();
+        let levels = levelize(&n);
+        // Chain of three ANDs: one gate per level.
+        assert_eq!(levels.num_levels(), 3);
+        assert_eq!(levels.gate_count(), 3);
+        assert_eq!(levels.max_width(), 1);
+        for (i, slice) in levels.iter().enumerate() {
+            assert_eq!(slice.len(), 1);
+            assert_eq!(n.level(slice[0]) as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn levelize_respects_fanin_order_and_id_sort() {
+        // A balanced tree: 4 gates at level 1, 2 at level 2, 1 at level 3.
+        let mut n = Network::new(NetworkKind::Aig);
+        let xs = n.add_inputs(8);
+        let mut layer: Vec<_> = xs;
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                next.push(n.and2(pair[0], pair[1]));
+            }
+            layer = next;
+        }
+        n.add_output(layer[0]);
+        let levels = levelize(&n);
+        assert_eq!(levels.num_levels(), 3);
+        assert_eq!(levels.max_width(), 4);
+        let widths: Vec<usize> = levels.iter().map(<[NodeId]>::len).collect();
+        assert_eq!(widths, [4, 2, 1]);
+        let mut seen: Vec<NodeId> = Vec::new();
+        for slice in levels.iter() {
+            // Id-sorted within a level.
+            assert!(slice.windows(2).all(|w| w[0] < w[1]));
+            // Every fanin is a PI or appeared in an earlier level.
+            for &id in slice {
+                for f in n.node(id).fanins() {
+                    assert!(n.is_input(f.node()) || seen.contains(&f.node()));
+                }
+            }
+            seen.extend_from_slice(slice);
+        }
+        assert_eq!(seen.len(), levels.gate_count());
+    }
+
+    #[test]
+    fn levelize_of_gate_free_network_is_empty() {
+        let mut n = Network::new(NetworkKind::Aig);
+        let a = n.add_input();
+        n.add_output(a);
+        let levels = levelize(&n);
+        assert_eq!(levels.num_levels(), 0);
+        assert_eq!(levels.gate_count(), 0);
+        assert_eq!(levels.max_width(), 0);
+        assert!(levels.iter().next().is_none());
     }
 
     #[test]

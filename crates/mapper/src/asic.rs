@@ -52,6 +52,11 @@ pub struct AsicMapParams {
     /// How cuts are ranked before the per-node `cut_limit` truncates them
     /// (see [`CutCost`]); defaults to the objective's natural ranking.
     pub cut_ranking: CutCost,
+    /// Worker threads for level-parallel cut enumeration and choice transfer
+    /// (see [`mch_cut::enumerate_cuts_threaded`]); `1` selects the serial
+    /// path, results are identical for every value. Defaults to
+    /// [`mch_cut::default_threads`].
+    pub threads: usize,
 }
 
 impl AsicMapParams {
@@ -62,12 +67,19 @@ impl AsicMapParams {
             cut_limit: 8,
             area_rounds: 2,
             cut_ranking: objective.default_ranking(),
+            threads: mch_cut::default_threads(),
         }
     }
 
     /// Returns the same parameters with an explicit cut ranking.
     pub fn with_ranking(mut self, ranking: CutCost) -> Self {
         self.cut_ranking = ranking;
+        self
+    }
+
+    /// Returns the same parameters with an explicit worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -180,6 +192,7 @@ pub fn map_asic(
         params.cut_limit,
         params.cut_ranking,
         &library_cost_model(library),
+        params.threads,
     );
     let inv_delay = library.inverter_delay();
     let inv_area = library.inverter_area();

@@ -40,6 +40,6 @@ mod netlist;
 
 pub use asic::{map_asic, map_asic_network, AsicMapParams};
 pub use lut::{map_lut, map_lut_network, LutMapParams};
-pub use mapping::MappingObjective;
+pub use mapping::{prepare_cuts, MappingObjective};
 pub use mch_cut::{CutCost, CutCostModel, CutCosts};
 pub use netlist::{CellNetlist, LutNetlist, MappedCell, MappedLut, NetRef};

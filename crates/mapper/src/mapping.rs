@@ -2,7 +2,10 @@
 //! choice-aware cut preparation (Algorithm 3, lines 1–8).
 
 use mch_choice::ChoiceNetwork;
-use mch_cut::{enumerate_cuts_with_model, Cut, CutCost, CutCostModel, CutParams, NetworkCuts, MAX_CUT_SIZE};
+use mch_cut::{
+    enumerate_cuts_threaded, level_parallel, Cut, CutCost, CutCostModel, CutParams, NetworkCuts,
+    MAX_CUT_SIZE,
+};
 use mch_logic::{NodeId, TruthTable};
 
 /// What the mapper optimises for.
@@ -138,45 +141,106 @@ pub(crate) fn remap_choice_cut(
 /// computed over representative-level leaves so they compete with structural
 /// cuts on equal terms.
 ///
+/// Both phases shard by topological level across `threads` workers:
+/// enumeration through [`mch_cut::enumerate_cuts_threaded`], and the choice
+/// transfer by splitting [`NetworkCuts::extend_node`] into its read-only
+/// ranking half (remap + re-cost + re-rank, run on the workers, one level of
+/// representatives at a time) and its committing half (applied by the
+/// coordinator in node-id order). Results are bit-identical for every thread
+/// count — `threads <= 1` runs the same batched schedule inline.
+///
 /// The returned cut sets are indexed by node id of the mixed network; only
 /// original (representative) nodes are intended to be mapped.
-pub(crate) fn prepare_cuts(
+pub fn prepare_cuts(
     choice: &ChoiceNetwork,
     cut_size: usize,
     cut_limit: usize,
     cost: CutCost,
     model: &CutCostModel,
+    threads: usize,
 ) -> NetworkCuts {
     let params = CutParams::new(cut_size, cut_limit).with_cost(cost);
-    let mut cuts = enumerate_cuts_with_model(choice.network(), &params, model);
-    let reprs: Vec<NodeId> = choice.representatives().collect();
-    let mut inherited: Vec<Cut> = Vec::new();
-    for repr in reprs {
-        inherited.clear();
-        for &(choice_node, phase) in choice.choices_of(repr) {
-            for cut in cuts.of(choice_node).iter() {
-                if cut.size() > cut_size {
-                    continue;
-                }
-                if let Some(mut remapped) = remap_choice_cut(cut, choice, repr, phase) {
-                    if remapped.size() <= cut_size && !remapped.is_trivial() {
-                        remapped.set_costs(cuts.leaf_costs(remapped.leaves()));
-                        inherited.push(remapped);
+    let net = choice.network();
+    let cuts = enumerate_cuts_threaded(net, &params, model, threads);
+
+    // Representatives that actually have choices, grouped by their level in
+    // the mixed network: a representative's inherited-cut costs read the
+    // node costs of leaves strictly below it, so — exactly as in enumeration
+    // — all representatives of one level can be re-ranked independently once
+    // every earlier level's extensions are committed.
+    let mut repr_levels: Vec<Vec<NodeId>> = Vec::new();
+    for repr in choice.representatives() {
+        if choice.choices_of(repr).is_empty() {
+            continue;
+        }
+        let level = net.level(repr) as usize;
+        if repr_levels.len() <= level {
+            repr_levels.resize_with(level + 1, Vec::new);
+        }
+        repr_levels[level].push(repr);
+    }
+    // `representatives()` walks a hash map: sort each level so sharding —
+    // and the arena layout the commits produce — is reproducible run to run
+    // (the old id-ordered serial loop inherited the map's iteration order,
+    // which made choice-transfer arena layout depend on the hasher seed).
+    for bucket in &mut repr_levels {
+        bucket.sort_unstable();
+    }
+
+    let shared = std::sync::RwLock::new(cuts);
+    level_parallel(
+        &repr_levels,
+        threads,
+        MIN_TRANSFER_SHARD,
+        Vec::<Cut>::new,
+        |inherited: &mut Vec<Cut>, shard: &[NodeId]| {
+            let cuts = shared.read().expect("cut state poisoned");
+            let mut extensions: Vec<(NodeId, Vec<Cut>)> = Vec::with_capacity(shard.len());
+            for &repr in shard {
+                inherited.clear();
+                for &(choice_node, phase) in choice.choices_of(repr) {
+                    for cut in cuts.of(choice_node).iter() {
+                        if cut.size() > cut_size {
+                            continue;
+                        }
+                        if let Some(mut remapped) = remap_choice_cut(cut, choice, repr, phase) {
+                            if remapped.size() <= cut_size && !remapped.is_trivial() {
+                                remapped.set_costs(cuts.leaf_costs(remapped.leaves()));
+                                inherited.push(remapped);
+                            }
+                        }
                     }
                 }
+                // Keep the set bounded (the paper's line 8) while retaining
+                // room for both structural and inherited cuts.
+                if let Some(ranked) =
+                    cuts.ranked_extension(repr, inherited, cut_limit * 2, cost)
+                {
+                    extensions.push((repr, ranked));
+                }
             }
-        }
-        // Keep the set bounded (the paper's line 8) while retaining room for
-        // both structural and inherited cuts.
-        cuts.extend_node(repr, &inherited, cut_limit * 2, cost);
-    }
-    cuts
+            extensions
+        },
+        |level_extensions: Vec<Vec<(NodeId, Vec<Cut>)>>| {
+            let mut cuts = shared.write().expect("cut state poisoned");
+            for (repr, ranked) in level_extensions.into_iter().flatten() {
+                cuts.commit_extension(repr, ranked);
+            }
+        },
+    );
+    shared.into_inner().expect("cut state poisoned")
 }
+
+/// Smallest representative batch worth sharding during choice transfer;
+/// remapping is heavier per node than enumeration, so the threshold is lower
+/// than the enumeration one.
+const MIN_TRANSFER_SHARD: usize = 8;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use mch_choice::{build_mch, MchParams};
+    use mch_cut::enumerate_cuts_with_model;
     use mch_logic::{Network, NetworkKind};
 
     fn sample() -> Network {
@@ -255,8 +319,8 @@ mod tests {
     fn prepared_cuts_contain_inherited_cuts() {
         let net = sample();
         let mch = build_mch(&net, &MchParams::area_oriented());
-        let plain = prepare_cuts(&ChoiceNetwork::from_network(&net), 4, 8, CutCost::Structural, &CutCostModel::unit());
-        let with_choices = prepare_cuts(&mch, 4, 8, CutCost::Structural, &CutCostModel::unit());
+        let plain = prepare_cuts(&ChoiceNetwork::from_network(&net), 4, 8, CutCost::Structural, &CutCostModel::unit(), 1);
+        let with_choices = prepare_cuts(&mch, 4, 8, CutCost::Structural, &CutCostModel::unit(), 1);
         // Total cuts on representative nodes should not shrink when choices
         // are transferred.
         let plain_total: usize = net.gate_ids().map(|id| plain.of(id).len()).sum();
@@ -268,7 +332,7 @@ mod tests {
     fn inherited_cut_functions_are_correct() {
         let net = sample();
         let mch = build_mch(&net, &MchParams::area_oriented());
-        let cuts = prepare_cuts(&mch, 4, 8, CutCost::Hybrid, &CutCostModel::unit());
+        let cuts = prepare_cuts(&mch, 4, 8, CutCost::Hybrid, &CutCostModel::unit(), 1);
         // For every representative cut rooted at an output driver, check the
         // function against a direct cone evaluation through simulation of the
         // original network restricted to the cut leaves: here we simply verify

@@ -28,7 +28,10 @@ pub struct MappedCell {
 }
 
 /// A standard-cell netlist produced by ASIC mapping.
-#[derive(Clone, Debug, Default)]
+///
+/// Equality is structural (same cells, pins and outputs in the same order) —
+/// the parallel-mapping determinism tests rely on it.
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct CellNetlist {
     name: String,
     inputs: usize,
@@ -211,7 +214,10 @@ pub struct MappedLut {
 }
 
 /// A K-LUT netlist produced by FPGA mapping.
-#[derive(Clone, Debug, Default)]
+///
+/// Equality is structural (same LUT masks, fanins and outputs in the same
+/// order) — the parallel-mapping determinism tests rely on it.
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct LutNetlist {
     name: String,
     inputs: usize,
