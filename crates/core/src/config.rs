@@ -30,6 +30,15 @@ pub struct MchConfig {
     /// design (one per secondary representation) into the choice network, in
     /// addition to the per-node candidates of Algorithm 2.
     pub mix_optimized_snapshots: bool,
+    /// Override for the mapper's area-recovery round count (`None` keeps the
+    /// mapper default: 2 for ASIC, 3 for LUT). Extra rounds are cheap now
+    /// that the covering engine memoises per-node selections — see
+    /// `docs/PERFORMANCE.md`.
+    pub area_rounds: Option<usize>,
+    /// Run the covering engine's exact-area re-selection pass after the
+    /// area-flow rounds. Off in every preset: it changes covers, and the
+    /// preset quality numbers are pinned.
+    pub exact_area: bool,
     /// Worker threads handed to the mapper for level-parallel cut enumeration
     /// and choice transfer (see [`mch_cut::enumerate_cuts_threaded`]). `1`
     /// runs fully serial; every value produces identical mapping results.
@@ -48,6 +57,8 @@ impl MchConfig {
             mch: MchParams::balanced(),
             pre_optimization_rounds: 2,
             mix_optimized_snapshots: true,
+            area_rounds: None,
+            exact_area: false,
             threads: mch_cut::default_threads(),
         }
     }
@@ -61,6 +72,8 @@ impl MchConfig {
             mch: MchParams::delay_oriented(),
             pre_optimization_rounds: 2,
             mix_optimized_snapshots: true,
+            area_rounds: None,
+            exact_area: false,
             threads: mch_cut::default_threads(),
         }
     }
@@ -74,6 +87,8 @@ impl MchConfig {
             mch: MchParams::area_oriented(),
             pre_optimization_rounds: 2,
             mix_optimized_snapshots: true,
+            area_rounds: None,
+            exact_area: false,
             threads: mch_cut::default_threads(),
         }
     }
@@ -82,6 +97,21 @@ impl MchConfig {
     /// for the mapper's level-parallel cut enumeration and choice transfer.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns the same configuration with an explicit area-recovery round
+    /// count (extra rounds are cheap — the covering engine memoises per-node
+    /// selections across rounds).
+    pub fn with_area_rounds(mut self, rounds: usize) -> Self {
+        self.area_rounds = Some(rounds);
+        self
+    }
+
+    /// Returns the same configuration with the covering engine's exact-area
+    /// final pass toggled.
+    pub fn with_exact_area(mut self, exact: bool) -> Self {
+        self.exact_area = exact;
         self
     }
 
@@ -95,6 +125,8 @@ impl MchConfig {
             mch: MchParams::mixed(&[NetworkKind::Xmg]),
             pre_optimization_rounds: 0,
             mix_optimized_snapshots: true,
+            area_rounds: None,
+            exact_area: false,
             threads: mch_cut::default_threads(),
         }
     }

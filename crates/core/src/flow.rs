@@ -149,9 +149,13 @@ pub fn asic_flow_mch(
 ) -> AsicFlowResult {
     let start = Instant::now();
     let choices = build_flow_choices(network, config);
-    let params = AsicMapParams::new(config.objective)
+    let mut params = AsicMapParams::new(config.objective)
         .with_ranking(config.cut_ranking)
-        .with_threads(config.threads);
+        .with_threads(config.threads)
+        .with_exact_area(config.exact_area);
+    if let Some(rounds) = config.area_rounds {
+        params = params.with_area_rounds(rounds);
+    }
     let netlist = map_asic(&choices, library, &params);
     finish_asic(config.name.clone(), network, netlist, library, start)
 }
@@ -179,9 +183,13 @@ pub fn lut_flow_baseline(
 pub fn lut_flow_mch(network: &Network, lut: &LutLibrary, config: &MchConfig) -> LutFlowResult {
     let start = Instant::now();
     let choices = build_flow_choices(network, config);
-    let params = LutMapParams::new(config.objective)
+    let mut params = LutMapParams::new(config.objective)
         .with_ranking(config.cut_ranking)
-        .with_threads(config.threads);
+        .with_threads(config.threads)
+        .with_exact_area(config.exact_area);
+    if let Some(rounds) = config.area_rounds {
+        params = params.with_area_rounds(rounds);
+    }
     let netlist = map_lut(&choices, lut, &params);
     finish_lut(config.name.clone(), network, netlist, start)
 }
@@ -244,6 +252,25 @@ mod tests {
         assert!(base.verified && mch.verified);
         assert!(base.luts >= 1 && mch.luts >= 1);
         assert!(mch.luts <= base.luts, "MCH should not need more LUTs on the demo");
+    }
+
+    #[test]
+    fn area_rounds_and_exact_area_flow_through_the_config() {
+        let net = small_circuit();
+        let lib = asap7_lite();
+        let lut = LutLibrary::k6();
+        let cfg = MchConfig::area_oriented()
+            .with_area_rounds(6)
+            .with_exact_area(true);
+        let asic = asic_flow_mch(&net, &lib, &cfg);
+        assert!(asic.verified, "exact-area ASIC flow failed verification");
+        let lut_cfg = MchConfig::lut_area().with_area_rounds(6).with_exact_area(true);
+        let fpga = lut_flow_mch(&net, &lut, &lut_cfg);
+        assert!(fpga.verified, "exact-area LUT flow failed verification");
+        // More recovery rounds plus the exact pass must not grow the cover
+        // beyond the default flow's.
+        let default_fpga = lut_flow_mch(&net, &lut, &MchConfig::lut_area());
+        assert!(fpga.luts <= default_fpga.luts);
     }
 
     #[test]

@@ -1,10 +1,17 @@
 //! Cut-based ASIC technology mapping with Boolean matching and choice-network
 //! support (Algorithm 3 instantiated for standard cells).
+//!
+//! The covering loop itself — delay pass, required-time propagation, area
+//! recovery — lives in the shared [`crate::engine`]; this module supplies the
+//! standard-cell [`CoverTarget`]: Boolean matching of cut functions against
+//! the library, the per-candidate delay/area model (cell + inverters), and
+//! emission of the selected cover as a [`CellNetlist`].
 
+use crate::engine::{cover, Cover, CoverTarget, EngineParams};
 use crate::mapping::{prepare_cuts, MappingObjective};
 use crate::netlist::{CellNetlist, NetRef};
 use mch_choice::ChoiceNetwork;
-use mch_cut::{CutCost, CutCostModel, MAX_CUT_SIZE};
+use mch_cut::{CutCost, CutCostModel, NetworkCuts, MAX_CUT_SIZE};
 use mch_logic::{GateKind, Network, NodeId, Signal, TruthTable};
 use mch_techlib::{CellId, Library};
 use std::collections::HashMap;
@@ -15,7 +22,10 @@ use std::collections::HashMap;
 /// an inverter, approximating a decomposition). This is what lets the depth
 /// ranking know that covering more leaves with one cell is *not* free in an
 /// ASIC flow, unlike in LUT mapping.
-fn library_cost_model(library: &Library) -> CutCostModel {
+///
+/// Public so callers of [`map_asic_with_cuts`] can run [`prepare_cuts`] with
+/// the same ranking model [`map_asic`] uses.
+pub fn library_cost_model(library: &Library) -> CutCostModel {
     let mut min_delay = [f64::INFINITY; MAX_CUT_SIZE + 1];
     let mut min_area = [f64::INFINITY; MAX_CUT_SIZE + 1];
     for cell in library.cells() {
@@ -49,6 +59,15 @@ pub struct AsicMapParams {
     pub cut_limit: usize,
     /// Number of area-recovery passes after the delay-oriented pass.
     pub area_rounds: usize,
+    /// Run the engine's exact-area re-selection pass after the area-flow
+    /// rounds (see [`EngineParams::exact_area`]). Off by default — it changes
+    /// covers, and the default flows pin their quality numbers.
+    pub exact_area: bool,
+    /// Memoise per-node selections across area rounds (see
+    /// [`crate::engine`]). On by default; `false` is the recompute baseline
+    /// the `mapping_rounds` bench measures against. Results are bit-identical
+    /// either way.
+    pub memoise: bool,
     /// How cuts are ranked before the per-node `cut_limit` truncates them
     /// (see [`CutCost`]); defaults to the objective's natural ranking.
     pub cut_ranking: CutCost,
@@ -66,6 +85,8 @@ impl AsicMapParams {
             objective,
             cut_limit: 8,
             area_rounds: 2,
+            exact_area: false,
+            memoise: true,
             cut_ranking: objective.default_ranking(),
             threads: mch_cut::default_threads(),
         }
@@ -82,6 +103,33 @@ impl AsicMapParams {
         self.threads = threads.max(1);
         self
     }
+
+    /// Returns the same parameters with an explicit area-recovery round count.
+    pub fn with_area_rounds(mut self, rounds: usize) -> Self {
+        self.area_rounds = rounds;
+        self
+    }
+
+    /// Returns the same parameters with the exact-area final pass toggled.
+    pub fn with_exact_area(mut self, exact: bool) -> Self {
+        self.exact_area = exact;
+        self
+    }
+
+    /// Returns the same parameters with selection memoisation toggled.
+    pub fn with_memoise(mut self, memoise: bool) -> Self {
+        self.memoise = memoise;
+        self
+    }
+
+    fn engine_params(&self) -> EngineParams {
+        EngineParams {
+            objective: self.objective,
+            area_rounds: self.area_rounds,
+            exact_area: self.exact_area,
+            memoise: self.memoise,
+        }
+    }
 }
 
 impl Default for AsicMapParams {
@@ -92,8 +140,11 @@ impl Default for AsicMapParams {
 
 /// One concrete way of covering a node: a cut reduced to its support, matched
 /// onto a library cell, with the inverters the match requires.
+///
+/// Opaque outside this module; public only because it is [`AsicTarget`]'s
+/// [`CoverTarget::Candidate`] associated type.
 #[derive(Clone, Debug)]
-struct MatchCandidate {
+pub struct MatchCandidate {
     leaves: Vec<NodeId>,
     cell: CellId,
     pin_perm: Vec<usize>,
@@ -102,29 +153,6 @@ struct MatchCandidate {
     area: f64,
     cell_delay: f64,
     output_extra: f64,
-}
-
-impl MatchCandidate {
-    fn arrival(&self, arrivals: &[f64], inverter_delay: f64) -> f64 {
-        let mut worst: f64 = 0.0;
-        for (i, l) in self.leaves.iter().enumerate() {
-            let extra = if self.input_neg & (1 << i) != 0 {
-                inverter_delay
-            } else {
-                0.0
-            };
-            worst = worst.max(arrivals[l.index()] + extra);
-        }
-        worst + self.cell_delay + self.output_extra
-    }
-
-    fn area_flow(&self, flows: &[f64], refs: &[f64]) -> f64 {
-        let mut acc = self.area;
-        for l in &self.leaves {
-            acc += flows[l.index()] / refs[l.index()].max(1.0);
-        }
-        acc
-    }
 }
 
 /// Builds the direct-fanin cut of a gate: leaves are the sorted distinct
@@ -164,55 +192,47 @@ fn direct_fanin_cut(net: &Network, id: NodeId) -> (Vec<NodeId>, TruthTable) {
     (leaves, function)
 }
 
-/// Maps a choice network onto standard cells.
+/// The standard-cell instantiation of the covering engine's [`CoverTarget`].
 ///
-/// The mapper follows the classical priority-cut flow: a delay-oriented pass
-/// establishes arrival times, `area_rounds` area-flow passes recover area
-/// under the required times derived from the objective, and the final cover is
-/// extracted from the primary outputs. Choice-node cuts are transferred to
-/// their representatives beforehand, so heterogeneous candidate structures are
-/// evaluated with the same technology costs as the original structure.
-///
-/// # Panics
-///
-/// Panics if some node function cannot be matched by the library (the bundled
-/// [`mch_techlib::asap7_lite`] library always matches the 2- and 3-input
-/// primitive functions, so this only happens with deliberately crippled
-/// libraries).
-pub fn map_asic(
-    choice: &ChoiceNetwork,
-    library: &Library,
-    params: &AsicMapParams,
-) -> CellNetlist {
-    let net = choice.network();
-    let cut_size = library.max_inputs().clamp(3, 6);
-    let cuts = prepare_cuts(
-        choice,
-        cut_size,
-        params.cut_limit,
-        params.cut_ranking,
-        &library_cost_model(library),
-        params.threads,
-    );
-    let inv_delay = library.inverter_delay();
-    let inv_area = library.inverter_area();
+/// Public so callers can build a [`crate::engine::CoverProblem`] and solve it
+/// repeatedly under different [`EngineParams`] (the `mapping_rounds` bench
+/// does exactly that).
+pub struct AsicTarget<'a> {
+    library: &'a Library,
+    cuts: &'a NetworkCuts,
+    inv_delay: f64,
+    inv_area: f64,
+}
 
-    // ------------------------------------------------------------------
-    // Candidate matches per original node.
-    // ------------------------------------------------------------------
-    let original_gates: Vec<NodeId> = net
-        .gate_ids()
-        .filter(|id| choice.is_original(*id))
-        .collect();
-    let mut candidates: Vec<Vec<MatchCandidate>> = vec![Vec::new(); net.len()];
-    for &id in &original_gates {
+impl<'a> AsicTarget<'a> {
+    /// Creates the target over pre-enumerated cuts (from [`prepare_cuts`]
+    /// with cut size `library.max_inputs().clamp(3, 6)` and the
+    /// [`library_cost_model`] ranking model).
+    pub fn new(library: &'a Library, cuts: &'a NetworkCuts) -> Self {
+        AsicTarget {
+            library,
+            cuts,
+            inv_delay: library.inverter_delay(),
+            inv_area: library.inverter_area(),
+        }
+    }
+}
+
+impl CoverTarget for AsicTarget<'_> {
+    type Candidate = MatchCandidate;
+    type Netlist = CellNetlist;
+
+    fn candidates(&self, net: &Network, id: NodeId) -> Vec<MatchCandidate> {
+        let library = self.library;
+        let inv_delay = self.inv_delay;
+        let inv_area = self.inv_area;
         let mut cands = Vec::new();
         // The direct-fanin cut carries the gate's own primitive function, the
         // one shape every usable library covers. Cost-aware rankings can
         // truncate it out of the enumerated set, so it is re-synthesised here
         // as a guaranteed-matchable candidate.
         let fallback = direct_fanin_cut(net, id);
-        let enumerated = cuts.of(id).iter().map(|c| (c.leaves(), c.function()));
+        let enumerated = self.cuts.of(id).iter().map(|c| (c.leaves(), c.function()));
         let all = enumerated.chain(std::iter::once((
             fallback.0.as_slice(),
             &fallback.1,
@@ -274,200 +294,163 @@ pub fn map_asic(
             !cands.is_empty(),
             "node {id} has no matchable cut; the library cannot cover this network"
         );
-        candidates[id.index()] = cands;
+        cands
     }
 
-    // ------------------------------------------------------------------
-    // Fanout reference estimates over the original structure.
-    // ------------------------------------------------------------------
-    let mut refs = vec![0.0f64; net.len()];
-    for &id in &original_gates {
-        for f in net.node(id).fanins() {
-            refs[f.node().index()] += 1.0;
-        }
-    }
-    for o in net.outputs() {
-        refs[o.node().index()] += 1.0;
+    fn leaves<'b>(&self, cand: &'b MatchCandidate) -> &'b [NodeId] {
+        &cand.leaves
     }
 
-    // ------------------------------------------------------------------
-    // Pass 1: delay-oriented selection.
-    // ------------------------------------------------------------------
-    let mut arrival = vec![0.0f64; net.len()];
-    let mut flow = vec![0.0f64; net.len()];
-    let mut best: Vec<usize> = vec![usize::MAX; net.len()];
-    for &id in &original_gates {
-        let cands = &candidates[id.index()];
-        let mut chosen = 0;
-        let mut chosen_key = (f64::INFINITY, f64::INFINITY);
-        for (i, c) in cands.iter().enumerate() {
-            let arr = c.arrival(&arrival, inv_delay);
-            let af = c.area_flow(&flow, &refs);
-            if (arr, af) < chosen_key {
-                chosen_key = (arr, af);
-                chosen = i;
-            }
+    fn arrival(&self, cand: &MatchCandidate, arrivals: &[f64]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (i, l) in cand.leaves.iter().enumerate() {
+            let extra = if cand.input_neg & (1 << i) != 0 {
+                self.inv_delay
+            } else {
+                0.0
+            };
+            worst = worst.max(arrivals[l.index()] + extra);
         }
-        best[id.index()] = chosen;
-        arrival[id.index()] = chosen_key.0;
-        flow[id.index()] = cands[chosen].area_flow(&flow, &refs) / refs[id.index()].max(1.0);
-    }
-    let delay_target = net
-        .outputs()
-        .iter()
-        .map(|o| arrival[o.node().index()])
-        .fold(0.0, f64::max);
-
-    // ------------------------------------------------------------------
-    // Passes 2..: area recovery under required times.
-    // ------------------------------------------------------------------
-    for _round in 0..params.area_rounds {
-        let mut required = vec![f64::INFINITY; net.len()];
-        if params.objective != MappingObjective::Area {
-            for o in net.outputs() {
-                let idx = o.node().index();
-                required[idx] = required[idx].min(delay_target);
-            }
-            for &id in original_gates.iter().rev() {
-                let r = required[id.index()];
-                if !r.is_finite() {
-                    continue;
-                }
-                let c = &candidates[id.index()][best[id.index()]];
-                for (i, l) in c.leaves.iter().enumerate() {
-                    let extra = if c.input_neg & (1 << i) != 0 { inv_delay } else { 0.0 };
-                    let slack = r - c.cell_delay - c.output_extra - extra;
-                    required[l.index()] = required[l.index()].min(slack);
-                }
-            }
-        }
-        for &id in &original_gates {
-            let cands = &candidates[id.index()];
-            let node_required = required[id.index()];
-            let strict_delay = params.objective == MappingObjective::Delay;
-            let min_arrival = cands
-                .iter()
-                .map(|c| c.arrival(&arrival, inv_delay))
-                .fold(f64::INFINITY, f64::min);
-            let mut chosen = best[id.index()];
-            let mut chosen_key = (f64::INFINITY, f64::INFINITY);
-            for (i, c) in cands.iter().enumerate() {
-                let arr = c.arrival(&arrival, inv_delay);
-                let feasible = if strict_delay {
-                    arr <= min_arrival + 1e-9
-                } else {
-                    arr <= node_required + 1e-9 || !node_required.is_finite()
-                };
-                if !feasible {
-                    continue;
-                }
-                let af = c.area_flow(&flow, &refs);
-                if (af, arr) < chosen_key {
-                    chosen_key = (af, arr);
-                    chosen = i;
-                }
-            }
-            best[id.index()] = chosen;
-            let c = &cands[chosen];
-            arrival[id.index()] = c.arrival(&arrival, inv_delay);
-            flow[id.index()] = c.area_flow(&flow, &refs) / refs[id.index()].max(1.0);
-        }
+        worst + cand.cell_delay + cand.output_extra
     }
 
-    // ------------------------------------------------------------------
-    // Cover extraction.
-    // ------------------------------------------------------------------
-    let mut needed = vec![false; net.len()];
-    let mut stack: Vec<NodeId> = Vec::new();
-    for o in net.outputs() {
-        if net.is_gate(o.node()) {
-            stack.push(o.node());
-        }
-    }
-    while let Some(id) = stack.pop() {
-        if needed[id.index()] {
-            continue;
-        }
-        needed[id.index()] = true;
-        let c = &candidates[id.index()][best[id.index()]];
-        for l in &c.leaves {
-            if net.is_gate(*l) && !needed[l.index()] {
-                stack.push(*l);
-            }
-        }
+    fn area(&self, cand: &MatchCandidate) -> f64 {
+        cand.area
     }
 
-    let mut netlist = CellNetlist::new(net.name().to_string(), net.input_count());
-    let input_pos: HashMap<NodeId, usize> = net
-        .inputs()
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| (n, i))
-        .collect();
-    let mut node_ref: HashMap<NodeId, NetRef> = HashMap::new();
-    let mut inverted: HashMap<NodeId, NetRef> = HashMap::new();
-    let inverter = library.inverter();
-
-    // Helper closure replaced by explicit functions to satisfy the borrow checker.
-    fn base_ref(
-        node: NodeId,
-        input_pos: &HashMap<NodeId, usize>,
-        node_ref: &HashMap<NodeId, NetRef>,
-    ) -> NetRef {
-        if node.is_const() {
-            NetRef::Const(false)
-        } else if let Some(&i) = input_pos.get(&node) {
-            NetRef::Input(i)
+    fn leaf_required(&self, cand: &MatchCandidate, leaf_index: usize, root_required: f64) -> f64 {
+        let extra = if cand.input_neg & (1 << leaf_index) != 0 {
+            self.inv_delay
         } else {
-            *node_ref.get(&node).expect("leaf mapped before use")
-        }
+            0.0
+        };
+        root_required - cand.cell_delay - cand.output_extra - extra
     }
 
-    for &id in &original_gates {
-        if !needed[id.index()] {
-            continue;
+    fn emit(&self, net: &Network, cover: &Cover<'_, MatchCandidate>) -> CellNetlist {
+        let mut netlist = CellNetlist::new(net.name().to_string(), net.input_count());
+        let input_pos: HashMap<NodeId, usize> = net
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
+        let mut node_ref: HashMap<NodeId, NetRef> = HashMap::new();
+        let mut inverted: HashMap<NodeId, NetRef> = HashMap::new();
+        let inverter = self.library.inverter();
+
+        fn base_ref(
+            node: NodeId,
+            input_pos: &HashMap<NodeId, usize>,
+            node_ref: &HashMap<NodeId, NetRef>,
+        ) -> NetRef {
+            if node.is_const() {
+                NetRef::Const(false)
+            } else if let Some(&i) = input_pos.get(&node) {
+                NetRef::Input(i)
+            } else {
+                *node_ref.get(&node).expect("leaf mapped before use")
+            }
         }
-        let c = &candidates[id.index()][best[id.index()]];
-        let mut pin_fanins = vec![NetRef::Const(false); c.leaves.len()];
-        for (i, l) in c.leaves.iter().enumerate() {
-            let mut r = base_ref(*l, &input_pos, &node_ref);
-            if c.input_neg & (1 << i) != 0 {
+
+        for &id in cover.original_gates {
+            if !cover.needed[id.index()] {
+                continue;
+            }
+            let c = cover.selected(id);
+            let mut pin_fanins = vec![NetRef::Const(false); c.leaves.len()];
+            for (i, l) in c.leaves.iter().enumerate() {
+                let mut r = base_ref(*l, &input_pos, &node_ref);
+                if c.input_neg & (1 << i) != 0 {
+                    r = match r {
+                        NetRef::Const(v) => NetRef::Const(!v),
+                        other => *inverted
+                            .entry(*l)
+                            .or_insert_with(|| netlist.push_gate(inverter, vec![other])),
+                    };
+                }
+                pin_fanins[c.pin_perm[i]] = r;
+            }
+            let mut out = netlist.push_gate(c.cell, pin_fanins);
+            if c.output_neg {
+                out = netlist.push_gate(inverter, vec![out]);
+            }
+            node_ref.insert(id, out);
+        }
+
+        for o in net.outputs() {
+            let node = o.node();
+            let mut r = if node.is_const() {
+                NetRef::Const(false)
+            } else if let Some(&i) = input_pos.get(&node) {
+                NetRef::Input(i)
+            } else {
+                *node_ref.get(&node).expect("output driver mapped")
+            };
+            if o.is_complement() {
                 r = match r {
                     NetRef::Const(v) => NetRef::Const(!v),
                     other => *inverted
-                        .entry(*l)
+                        .entry(node)
                         .or_insert_with(|| netlist.push_gate(inverter, vec![other])),
                 };
             }
-            pin_fanins[c.pin_perm[i]] = r;
+            netlist.push_output(r);
         }
-        let mut out = netlist.push_gate(c.cell, pin_fanins);
-        if c.output_neg {
-            out = netlist.push_gate(inverter, vec![out]);
-        }
-        node_ref.insert(id, out);
+        netlist
     }
+}
 
-    for o in net.outputs() {
-        let node = o.node();
-        let mut r = if node.is_const() {
-            NetRef::Const(false)
-        } else if let Some(&i) = input_pos.get(&node) {
-            NetRef::Input(i)
-        } else {
-            *node_ref.get(&node).expect("output driver mapped")
-        };
-        if o.is_complement() {
-            r = match r {
-                NetRef::Const(v) => NetRef::Const(!v),
-                other => *inverted
-                    .entry(node)
-                    .or_insert_with(|| netlist.push_gate(inverter, vec![other])),
-            };
-        }
-        netlist.push_output(r);
-    }
-    netlist
+/// Maps a choice network onto standard cells.
+///
+/// The mapper follows the classical priority-cut flow, delegated to the
+/// shared [`crate::engine`]: a delay-oriented pass establishes arrival times,
+/// `area_rounds` area-flow passes recover area under the required times
+/// derived from the objective (memoised and incrementally re-evaluated — see
+/// the engine docs), and the final cover is extracted from the primary
+/// outputs. Choice-node cuts are transferred to their representatives
+/// beforehand, so heterogeneous candidate structures are evaluated with the
+/// same technology costs as the original structure.
+///
+/// # Panics
+///
+/// Panics if some node function cannot be matched by the library (the bundled
+/// [`mch_techlib::asap7_lite`] library always matches the 2- and 3-input
+/// primitive functions, so this only happens with deliberately crippled
+/// libraries).
+pub fn map_asic(
+    choice: &ChoiceNetwork,
+    library: &Library,
+    params: &AsicMapParams,
+) -> CellNetlist {
+    let cut_size = library.max_inputs().clamp(3, 6);
+    let cuts = prepare_cuts(
+        choice,
+        cut_size,
+        params.cut_limit,
+        params.cut_ranking,
+        &library_cost_model(library),
+        params.threads,
+    );
+    map_asic_with_cuts(choice, library, &cuts, params)
+}
+
+/// Covers a choice network onto standard cells over **pre-enumerated** cuts.
+///
+/// This is the covering phase of [`map_asic`] in isolation: `cuts` must come
+/// from [`prepare_cuts`] over the same choice network (cut size
+/// `library.max_inputs().clamp(3, 6)`). Use it to re-cover one cut set under
+/// several parameter settings — different `area_rounds`, `exact_area` or
+/// objectives — without paying enumeration and choice transfer again; the
+/// `mapping_rounds` bench measures exactly this call.
+pub fn map_asic_with_cuts(
+    choice: &ChoiceNetwork,
+    library: &Library,
+    cuts: &NetworkCuts,
+    params: &AsicMapParams,
+) -> CellNetlist {
+    let target = AsicTarget::new(library, cuts);
+    cover(choice, &target, &params.engine_params())
 }
 
 /// Convenience: maps a plain network (no choices) onto standard cells.
@@ -477,13 +460,6 @@ pub fn map_asic_network(
     params: &AsicMapParams,
 ) -> CellNetlist {
     map_asic(&ChoiceNetwork::from_network(network), library, params)
-}
-
-/// Returns `true` if the signal is complemented; helper kept for symmetry with
-/// future multi-phase mapping extensions.
-#[allow(dead_code)]
-fn is_neg(s: Signal) -> bool {
-    s.is_complement()
 }
 
 #[cfg(test)]
@@ -571,5 +547,41 @@ mod tests {
         let lib = asap7_lite();
         let mapped = map_asic_network(&n, &lib, &AsicMapParams::default());
         assert!(cec(&n, &mapped.to_network(&lib)).holds());
+    }
+
+    #[test]
+    fn memoised_selection_matches_full_recomputation() {
+        let net = adder4();
+        let lib = asap7_lite();
+        for objective in [
+            MappingObjective::Delay,
+            MappingObjective::Balanced,
+            MappingObjective::Area,
+        ] {
+            for rounds in [0, 2, 5] {
+                let params = AsicMapParams::new(objective).with_area_rounds(rounds);
+                let memo = map_asic_network(&net, &lib, &params);
+                let full = map_asic_network(&net, &lib, &params.with_memoise(false));
+                assert_eq!(memo, full, "{objective:?} with {rounds} rounds diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_area_pass_stays_equivalent_and_not_larger() {
+        let net = adder4();
+        let lib = asap7_lite();
+        for objective in [MappingObjective::Balanced, MappingObjective::Area] {
+            let params = AsicMapParams::new(objective);
+            let flow_only = map_asic_network(&net, &lib, &params);
+            let exact = map_asic_network(&net, &lib, &params.with_exact_area(true));
+            assert!(cec(&net, &exact.to_network(&lib)).holds(), "{objective:?}");
+            assert!(
+                exact.area(&lib) <= flow_only.area(&lib) + 1e-9,
+                "{objective:?}: exact-area pass grew area from {} to {}",
+                flow_only.area(&lib),
+                exact.area(&lib)
+            );
+        }
     }
 }

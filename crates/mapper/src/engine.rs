@@ -1,0 +1,705 @@
+//! The shared covering engine both technology mappers run on.
+//!
+//! ASIC and LUT covering are the same dynamic program with different cost
+//! models (cf. "Mapping Fusion: Improving FPGA Technology Mapping with ASIC
+//! Mapper"): a delay-oriented forward pass establishes arrival times, a
+//! number of area-recovery rounds re-select candidates under required times
+//! propagated backward from the outputs, and the final cover is extracted
+//! from the primary outputs. [`cover`] implements that loop once, generically
+//! over a [`CoverTarget`] — the trait that supplies what actually differs
+//! between targets: how candidates are enumerated, what a candidate's arrival
+//! and area are, how required time propagates onto a candidate's leaves, and
+//! how the selected cover is emitted as a netlist.
+//!
+//! # Incremental re-selection (`CandidateCache`)
+//!
+//! Re-selecting a node is a pure function of
+//!
+//! 1. the `(arrival, flow)` pair of every leaf of every candidate,
+//! 2. the node's own required time, and
+//! 3. the node's previous selection (the fallback when no candidate is
+//!    feasible).
+//!
+//! The engine memoises per-node results in a `CandidateCache` and skips a
+//! node in an area round when none of those inputs changed — bit-for-bit —
+//! since the node was last evaluated. Changes propagate as dirty bits over
+//! the candidate-leaf fanout relation: whenever a node's selection, arrival
+//! or area flow changes, every node that lists it as a candidate leaf is
+//! marked dirty (such nodes are always processed later in the same round
+//! because candidate leaves precede their root topologically). Because the
+//! skip condition is exact, memoised runs produce **bit-identical** covers to
+//! full recomputation (`memoise: false`), which the `mapping_rounds` bench
+//! asserts; the speedup at `area_rounds > 2` comes from selections
+//! stabilising after the first rounds, after which most nodes are clean.
+//!
+//! # Exact-area final pass
+//!
+//! With [`EngineParams::exact_area`] set, a final pass re-selects each
+//! covered node by *exact* area — the cells/LUTs the candidate's cone really
+//! adds under the current reference counts, computed by the classical
+//! ref/deref walk — instead of the area-flow estimate, still honouring the
+//! required times established by the preceding `area_rounds` flow rounds.
+//! The pass is off by default: it changes covers, and the default flows pin
+//! their quality numbers.
+
+use crate::mapping::MappingObjective;
+use mch_choice::ChoiceNetwork;
+use mch_logic::{Network, NodeId};
+
+/// Slack tolerance of every required-time / arrival comparison in the engine.
+///
+/// A candidate is considered to meet a timing bound when its arrival exceeds
+/// the bound by at most this epsilon, absorbing the float noise that
+/// accumulates through arrival/required propagation. Formerly this constant
+/// was copy-pasted at four comparison sites across the two mappers.
+pub const SLACK_EPS: f64 = 1e-9;
+
+/// Returns `true` when `arrival` meets `bound` within [`SLACK_EPS`].
+///
+/// This is the single tie-break predicate used by every feasibility check in
+/// the engine (strict-delay checks against the minimum achievable arrival,
+/// balanced checks against the node's required time).
+#[inline]
+pub fn meets_bound(arrival: f64, bound: f64) -> bool {
+    arrival <= bound + SLACK_EPS
+}
+
+/// What a technology target must provide for the engine to cover a network.
+///
+/// Implementations exist for standard-cell mapping (`asic.rs`) and K-LUT
+/// mapping (`lut.rs`); the trait is public so further targets (e.g. hybrid
+/// LUT-structures or coarse-grained blocks) can reuse the engine.
+pub trait CoverTarget {
+    /// One concrete way of covering a node (a matched cell, a LUT, …).
+    type Candidate;
+    /// The netlist type the selected cover is emitted into.
+    type Netlist;
+
+    /// Enumerates the candidates of `id`, in a deterministic order.
+    ///
+    /// Must never return an empty list — every mappable node needs at least
+    /// one implementation (targets assert this with a target-specific
+    /// message).
+    fn candidates(&self, net: &Network, id: NodeId) -> Vec<Self::Candidate>;
+
+    /// The candidate's leaves (sorted, distinct, topologically before the
+    /// root).
+    fn leaves<'a>(&self, cand: &'a Self::Candidate) -> &'a [NodeId];
+
+    /// Arrival time at the root if `cand` is selected, given the current
+    /// per-node arrival times.
+    fn arrival(&self, cand: &Self::Candidate, arrivals: &[f64]) -> f64;
+
+    /// The candidate's own area cost (no leaf contribution).
+    fn area(&self, cand: &Self::Candidate) -> f64;
+
+    /// Required time imposed on leaf `leaf_index` when the root must be ready
+    /// by `root_required`.
+    fn leaf_required(
+        &self,
+        cand: &Self::Candidate,
+        leaf_index: usize,
+        root_required: f64,
+    ) -> f64;
+
+    /// Emits the selected cover as a netlist.
+    fn emit(&self, net: &Network, cover: &Cover<'_, Self::Candidate>) -> Self::Netlist;
+}
+
+/// The selected cover handed to [`CoverTarget::emit`].
+pub struct Cover<'a, C> {
+    /// The original (representative) gates, in topological order.
+    pub original_gates: &'a [NodeId],
+    /// Candidate lists indexed by node id.
+    pub candidates: &'a [Vec<C>],
+    /// Index of the selected candidate per node id.
+    pub best: &'a [usize],
+    /// Whether the node is part of the cover (reachable from the outputs
+    /// through selected candidates).
+    pub needed: &'a [bool],
+}
+
+impl<C> Cover<'_, C> {
+    /// The selected candidate of `id`.
+    pub fn selected(&self, id: NodeId) -> &C {
+        &self.candidates[id.index()][self.best[id.index()]]
+    }
+}
+
+/// Knobs of the covering engine, shared by both mappers.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct EngineParams {
+    /// Mapping objective (delay / balanced / area).
+    pub objective: MappingObjective,
+    /// Number of area-recovery rounds after the delay-oriented pass.
+    pub area_rounds: usize,
+    /// Run an exact-area re-selection pass (ref/deref walk under the final
+    /// required times) after the area-flow rounds. Off by default.
+    pub exact_area: bool,
+    /// Memoise per-node selections across rounds (see the
+    /// `CandidateCache` notes in the module docs).
+    /// `false` re-evaluates every node every round — the recompute baseline
+    /// the `mapping_rounds` bench measures against. Results are bit-identical
+    /// either way.
+    pub memoise: bool,
+}
+
+/// A covering problem prepared for (repeated) solving: the target's
+/// candidates, the fanout reference estimates and the candidate-leaf fanout
+/// relation, built once from a choice network.
+///
+/// Preparing is the expensive, parameter-independent part of covering
+/// (candidate enumeration dominates it); [`CoverProblem::solve`] runs the
+/// actual dynamic program and can be called any number of times with
+/// different [`EngineParams`] — different `area_rounds`, objectives or the
+/// exact-area pass — without re-enumerating candidates. The `mapping_rounds`
+/// bench times `solve` in isolation this way.
+pub struct CoverProblem<'a, T: CoverTarget> {
+    choice: &'a ChoiceNetwork,
+    target: &'a T,
+    original_gates: Vec<NodeId>,
+    candidates: Vec<Vec<T::Candidate>>,
+    refs: Vec<f64>,
+    /// The candidate-leaf fanout relation: `users[l]` lists every original
+    /// gate with `l` as a leaf of *some* candidate — the edges dirty bits
+    /// propagate along (see `CandidateCache`).
+    users: Vec<Vec<u32>>,
+}
+
+/// Per-solve memoisation state of the area-recovery rounds.
+///
+/// A node is skipped in an area round when it is clean (no leaf of any of its
+/// candidates changed `(arrival, flow)` since the node was last evaluated)
+/// and its required time is bit-identical to the previous round's. When a
+/// node's `(best, arrival, flow)` does change, its users — via
+/// [`CoverProblem::users`] — are marked dirty; they always sit later in the
+/// same round's topological sweep.
+struct CandidateCache {
+    dirty: Vec<bool>,
+    prev_required: Vec<f64>,
+}
+
+impl<'a, T: CoverTarget> CoverProblem<'a, T> {
+    /// Builds the problem: enumerates every original gate's candidates,
+    /// derives fanout reference estimates and the candidate-leaf fanout
+    /// relation.
+    pub fn new(choice: &'a ChoiceNetwork, target: &'a T) -> Self {
+        let net = choice.network();
+        let original_gates: Vec<NodeId> = net
+            .gate_ids()
+            .filter(|id| choice.is_original(*id))
+            .collect();
+
+        let mut candidates: Vec<Vec<T::Candidate>> =
+            std::iter::repeat_with(Vec::new).take(net.len()).collect();
+        for &id in &original_gates {
+            candidates[id.index()] = target.candidates(net, id);
+            assert!(
+                !candidates[id.index()].is_empty(),
+                "node {id} has no cover candidate"
+            );
+        }
+
+        // Fanout reference estimates over the original structure.
+        let mut refs = vec![0.0f64; net.len()];
+        for &id in &original_gates {
+            for f in net.node(id).fanins() {
+                refs[f.node().index()] += 1.0;
+            }
+        }
+        for o in net.outputs() {
+            refs[o.node().index()] += 1.0;
+        }
+
+        let mut users: Vec<Vec<u32>> = vec![Vec::new(); net.len()];
+        for &id in &original_gates {
+            for cand in &candidates[id.index()] {
+                for &l in target.leaves(cand) {
+                    users[l.index()].push(id.index() as u32);
+                }
+            }
+        }
+        for list in &mut users {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        CoverProblem {
+            choice,
+            target,
+            original_gates,
+            candidates,
+            refs,
+            users,
+        }
+    }
+
+    /// Runs the covering dynamic program and emits the target netlist.
+    ///
+    /// The flow is exactly the classical priority-cut dynamic program both
+    /// mappers previously hand-rolled:
+    ///
+    /// 1. **Delay pass** — pick, per node in topological order, the candidate
+    ///    minimising `(arrival, area_flow)`; the worst output arrival becomes
+    ///    the delay target.
+    /// 2. **Area rounds** — `area_rounds` times: propagate required times
+    ///    backward from the outputs (skipped entirely for the
+    ///    [`Area`](MappingObjective::Area) objective, where timing is
+    ///    unconstrained), then re-select per node the candidate minimising
+    ///    `(area_flow, arrival)` among those meeting the node's timing bound.
+    ///    With [`EngineParams::memoise`], clean nodes are skipped (see
+    ///    `CandidateCache`), and a round in which nothing changed is a
+    ///    fixed point — every later round would be a no-op, so the loop ends
+    ///    early.
+    /// 3. **Exact-area pass** (optional) — re-select covered nodes by exact
+    ///    area under the final required times.
+    /// 4. **Extraction** — walk the selected candidates from the outputs and
+    ///    emit the needed nodes through [`CoverTarget::emit`].
+    pub fn solve(&self, params: &EngineParams) -> T::Netlist {
+        let net = self.choice.network();
+        let target = self.target;
+        let original_gates = &self.original_gates;
+        let candidates = &self.candidates;
+        let refs = &self.refs;
+
+        let area_flow = |cand: &T::Candidate, flow: &[f64]| -> f64 {
+            let mut acc = target.area(cand);
+            for l in target.leaves(cand) {
+                acc += flow[l.index()] / refs[l.index()].max(1.0);
+            }
+            acc
+        };
+
+        // --------------------------------------------------------------
+        // Pass 1: delay-oriented selection.
+        // --------------------------------------------------------------
+        let mut arrival = vec![0.0f64; net.len()];
+        let mut flow = vec![0.0f64; net.len()];
+        let mut best: Vec<usize> = vec![usize::MAX; net.len()];
+        for &id in original_gates {
+            let cands = &candidates[id.index()];
+            let mut chosen = 0;
+            let mut chosen_key = (f64::INFINITY, f64::INFINITY);
+            for (i, c) in cands.iter().enumerate() {
+                let arr = target.arrival(c, &arrival);
+                let af = area_flow(c, &flow);
+                if (arr, af) < chosen_key {
+                    chosen_key = (arr, af);
+                    chosen = i;
+                }
+            }
+            best[id.index()] = chosen;
+            arrival[id.index()] = chosen_key.0;
+            flow[id.index()] = area_flow(&cands[chosen], &flow) / refs[id.index()].max(1.0);
+        }
+        let delay_target = net
+            .outputs()
+            .iter()
+            .map(|o| arrival[o.node().index()])
+            .fold(0.0, f64::max);
+
+        // --------------------------------------------------------------
+        // Passes 2..: area recovery under required times.
+        // --------------------------------------------------------------
+        // Every node is dirty going into the first area round: the selection
+        // criterion flips from (arrival, flow) to (flow, arrival) there, so
+        // the delay-pass results never carry over unexamined.
+        let mut cache = CandidateCache {
+            dirty: vec![true; net.len()],
+            prev_required: vec![f64::NAN; net.len()],
+        };
+        let strict_delay = params.objective == MappingObjective::Delay;
+        for _round in 0..params.area_rounds {
+            let required = compute_required(
+                net,
+                target,
+                original_gates,
+                candidates,
+                &best,
+                params.objective,
+                delay_target,
+            );
+            let mut round_changes = 0usize;
+            for &id in original_gates {
+                let idx = id.index();
+                if params.memoise
+                    && !cache.dirty[idx]
+                    && required[idx].to_bits() == cache.prev_required[idx].to_bits()
+                {
+                    continue;
+                }
+                let cands = &candidates[idx];
+                let node_required = required[idx];
+                // Only the strict-delay objective compares against the best
+                // achievable arrival; skip the extra candidate scan otherwise.
+                let min_arrival = if strict_delay {
+                    cands
+                        .iter()
+                        .map(|c| target.arrival(c, &arrival))
+                        .fold(f64::INFINITY, f64::min)
+                } else {
+                    f64::INFINITY
+                };
+                let mut chosen = best[idx];
+                let mut chosen_key = (f64::INFINITY, f64::INFINITY);
+                for (i, c) in cands.iter().enumerate() {
+                    let arr = target.arrival(c, &arrival);
+                    let feasible = if strict_delay {
+                        meets_bound(arr, min_arrival)
+                    } else {
+                        !node_required.is_finite() || meets_bound(arr, node_required)
+                    };
+                    if !feasible {
+                        continue;
+                    }
+                    let af = area_flow(c, &flow);
+                    if (af, arr) < chosen_key {
+                        chosen_key = (af, arr);
+                        chosen = i;
+                    }
+                }
+                let c = &cands[chosen];
+                let new_arrival = target.arrival(c, &arrival);
+                let new_flow = area_flow(c, &flow) / refs[idx].max(1.0);
+                let changed = chosen != best[idx]
+                    || new_arrival.to_bits() != arrival[idx].to_bits()
+                    || new_flow.to_bits() != flow[idx].to_bits();
+                best[idx] = chosen;
+                arrival[idx] = new_arrival;
+                flow[idx] = new_flow;
+                if params.memoise {
+                    cache.dirty[idx] = false;
+                    if changed {
+                        // Dirty every node that reads this one through a
+                        // candidate leaf; all of them sit later in this
+                        // round's topological sweep.
+                        for &u in &self.users[idx] {
+                            cache.dirty[u as usize] = true;
+                        }
+                    }
+                }
+                round_changes += usize::from(changed);
+            }
+            cache.prev_required = required;
+            // A change-free round is a fixed point: selections, arrivals,
+            // flows and therefore the next round's required times are all
+            // bit-identical, so every further round is a no-op. (The
+            // recompute baseline keeps grinding through them — that cost is
+            // exactly what the `mapping_rounds` bench measures.)
+            if params.memoise && round_changes == 0 {
+                break;
+            }
+        }
+
+        // --------------------------------------------------------------
+        // Optional exact-area final pass.
+        // --------------------------------------------------------------
+        if params.exact_area && !original_gates.is_empty() {
+            exact_area_pass(
+                net,
+                target,
+                original_gates,
+                candidates,
+                &mut best,
+                &mut arrival,
+                params.objective,
+                delay_target,
+            );
+        }
+
+        // --------------------------------------------------------------
+        // Cover extraction.
+        // --------------------------------------------------------------
+        let needed = extract_needed(net, target, candidates, &best);
+        let cover = Cover {
+            original_gates,
+            candidates,
+            best: &best,
+            needed: &needed,
+        };
+        target.emit(net, &cover)
+    }
+}
+
+/// Runs the full covering flow over a prepared choice network and emits the
+/// target netlist.
+///
+/// Convenience wrapper: [`CoverProblem::new`] followed by one
+/// [`CoverProblem::solve`]. Callers that want to solve the same problem under
+/// several parameter settings should hold on to the [`CoverProblem`] instead.
+pub fn cover<T: CoverTarget>(
+    choice: &ChoiceNetwork,
+    target: &T,
+    params: &EngineParams,
+) -> T::Netlist {
+    CoverProblem::new(choice, target).solve(params)
+}
+
+/// Backward required-time propagation over the current selections.
+///
+/// Outputs are required at the delay target established by the delay pass;
+/// every selected candidate propagates its root's requirement onto its leaves
+/// through [`CoverTarget::leaf_required`]. For the pure-area objective the
+/// whole vector stays `+inf` (no timing constraint).
+fn compute_required<T: CoverTarget>(
+    net: &Network,
+    target: &T,
+    original_gates: &[NodeId],
+    candidates: &[Vec<T::Candidate>],
+    best: &[usize],
+    objective: MappingObjective,
+    delay_target: f64,
+) -> Vec<f64> {
+    let mut required = vec![f64::INFINITY; net.len()];
+    if objective == MappingObjective::Area {
+        return required;
+    }
+    for o in net.outputs() {
+        let idx = o.node().index();
+        required[idx] = required[idx].min(delay_target);
+    }
+    for &id in original_gates.iter().rev() {
+        let r = required[id.index()];
+        if !r.is_finite() {
+            continue;
+        }
+        let c = &candidates[id.index()][best[id.index()]];
+        for (i, l) in target.leaves(c).iter().enumerate() {
+            let slack = target.leaf_required(c, i, r);
+            required[l.index()] = required[l.index()].min(slack);
+        }
+    }
+    required
+}
+
+/// Marks the nodes reachable from the outputs through selected candidates.
+fn extract_needed<T: CoverTarget>(
+    net: &Network,
+    target: &T,
+    candidates: &[Vec<T::Candidate>],
+    best: &[usize],
+) -> Vec<bool> {
+    let mut needed = vec![false; net.len()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for o in net.outputs() {
+        if net.is_gate(o.node()) {
+            stack.push(o.node());
+        }
+    }
+    while let Some(id) = stack.pop() {
+        if needed[id.index()] {
+            continue;
+        }
+        needed[id.index()] = true;
+        let c = &candidates[id.index()][best[id.index()]];
+        for l in target.leaves(c) {
+            if net.is_gate(*l) && !needed[l.index()] {
+                stack.push(*l);
+            }
+        }
+    }
+    needed
+}
+
+/// Exact-area re-selection under the final required times.
+///
+/// Maintains reference counts over the current cover and, for each referenced
+/// node in topological order, de-references its selected cone, evaluates
+/// every timing-feasible candidate by the exact area its cone would add
+/// (classical ref/deref walk), commits the best and re-references it.
+/// Arrival times are refreshed along the way so downstream feasibility checks
+/// see the updated cone.
+#[allow(clippy::too_many_arguments)]
+fn exact_area_pass<T: CoverTarget>(
+    net: &Network,
+    target: &T,
+    original_gates: &[NodeId],
+    candidates: &[Vec<T::Candidate>],
+    best: &mut [usize],
+    arrival: &mut [f64],
+    objective: MappingObjective,
+    delay_target: f64,
+) {
+    let required = compute_required(
+        net,
+        target,
+        original_gates,
+        candidates,
+        best,
+        objective,
+        delay_target,
+    );
+    // Reference counts of the current cover: selected-candidate leaves plus
+    // primary outputs.
+    let needed = extract_needed(net, target, candidates, best);
+    let mut nrefs = vec![0u32; net.len()];
+    for &id in original_gates {
+        if !needed[id.index()] {
+            continue;
+        }
+        for &l in target.leaves(&candidates[id.index()][best[id.index()]]) {
+            if net.is_gate(l) {
+                nrefs[l.index()] += 1;
+            }
+        }
+    }
+    for o in net.outputs() {
+        if net.is_gate(o.node()) {
+            nrefs[o.node().index()] += 1;
+        }
+    }
+
+    let strict_delay = objective == MappingObjective::Delay;
+    let mut walk: Vec<NodeId> = Vec::new();
+    for &id in original_gates {
+        let idx = id.index();
+        if nrefs[idx] == 0 {
+            continue;
+        }
+        // Take the node's current cone out of the cover.
+        deref_cone(net, target, candidates, best, &mut nrefs, &mut walk, id);
+        let cands = &candidates[idx];
+        let node_required = required[idx];
+        // Only the strict-delay objective compares against the best
+        // achievable arrival; skip the extra candidate scan otherwise.
+        let min_arrival = if strict_delay {
+            cands
+                .iter()
+                .map(|c| target.arrival(c, arrival))
+                .fold(f64::INFINITY, f64::min)
+        } else {
+            f64::INFINITY
+        };
+        let mut chosen = best[idx];
+        let mut chosen_key = (f64::INFINITY, f64::INFINITY);
+        for (i, c) in cands.iter().enumerate() {
+            let arr = target.arrival(c, arrival);
+            let feasible = if strict_delay {
+                meets_bound(arr, min_arrival)
+            } else {
+                !node_required.is_finite() || meets_bound(arr, node_required)
+            };
+            if !feasible {
+                continue;
+            }
+            let ea = ref_cone_area(net, target, candidates, best, &mut nrefs, &mut walk, c);
+            deref_cand(net, target, candidates, best, &mut nrefs, &mut walk, c);
+            if (ea, arr) < chosen_key {
+                chosen_key = (ea, arr);
+                chosen = i;
+            }
+        }
+        best[idx] = chosen;
+        arrival[idx] = target.arrival(&cands[chosen], arrival);
+        // Put the (possibly new) cone back.
+        let c = &cands[chosen];
+        ref_cone_area(net, target, candidates, best, &mut nrefs, &mut walk, c);
+    }
+}
+
+/// References `cand`'s leaves and returns the exact area its cone adds:
+/// the candidate's own area plus the cones of leaves newly pulled into the
+/// cover (iterative, no recursion).
+fn ref_cone_area<T: CoverTarget>(
+    net: &Network,
+    target: &T,
+    candidates: &[Vec<T::Candidate>],
+    best: &[usize],
+    nrefs: &mut [u32],
+    walk: &mut Vec<NodeId>,
+    cand: &T::Candidate,
+) -> f64 {
+    let mut total = target.area(cand);
+    walk.clear();
+    for &l in target.leaves(cand) {
+        if net.is_gate(l) {
+            nrefs[l.index()] += 1;
+            if nrefs[l.index()] == 1 {
+                walk.push(l);
+            }
+        }
+    }
+    while let Some(n) = walk.pop() {
+        let c = &candidates[n.index()][best[n.index()]];
+        total += target.area(c);
+        for &l in target.leaves(c) {
+            if net.is_gate(l) {
+                nrefs[l.index()] += 1;
+                if nrefs[l.index()] == 1 {
+                    walk.push(l);
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Undoes [`ref_cone_area`] for `cand` (leaves only, not the root).
+fn deref_cand<T: CoverTarget>(
+    net: &Network,
+    target: &T,
+    candidates: &[Vec<T::Candidate>],
+    best: &[usize],
+    nrefs: &mut [u32],
+    walk: &mut Vec<NodeId>,
+    cand: &T::Candidate,
+) {
+    walk.clear();
+    for &l in target.leaves(cand) {
+        if net.is_gate(l) {
+            nrefs[l.index()] -= 1;
+            if nrefs[l.index()] == 0 {
+                walk.push(l);
+            }
+        }
+    }
+    while let Some(n) = walk.pop() {
+        let c = &candidates[n.index()][best[n.index()]];
+        for &l in target.leaves(c) {
+            if net.is_gate(l) {
+                nrefs[l.index()] -= 1;
+                if nrefs[l.index()] == 0 {
+                    walk.push(l);
+                }
+            }
+        }
+    }
+}
+
+/// De-references the selected cone of `id` (its current candidate's leaves).
+fn deref_cone<T: CoverTarget>(
+    net: &Network,
+    target: &T,
+    candidates: &[Vec<T::Candidate>],
+    best: &[usize],
+    nrefs: &mut [u32],
+    walk: &mut Vec<NodeId>,
+    id: NodeId,
+) {
+    let c = &candidates[id.index()][best[id.index()]];
+    deref_cand(net, target, candidates, best, nrefs, walk, c);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_epsilon_tie_break_at_the_boundary() {
+        // Exactly at the bound and exactly at bound + eps are feasible…
+        assert!(meets_bound(1.0, 1.0));
+        assert!(meets_bound(1.0 + SLACK_EPS, 1.0));
+        assert!(meets_bound(100.0 + SLACK_EPS, 100.0));
+        // …one representable step past bound + eps is not.
+        assert!(!meets_bound(1.0 + 2.1 * SLACK_EPS, 1.0));
+        assert!(!meets_bound(f64::INFINITY, 1.0));
+        // Infinite bounds accept everything finite (unconstrained nodes).
+        assert!(meets_bound(1e300, f64::INFINITY));
+    }
+
+    #[test]
+    fn slack_epsilon_is_the_engine_wide_constant() {
+        // Pin the value: quality numbers and tie-breaks depend on it.
+        assert_eq!(SLACK_EPS, 1e-9);
+    }
+}

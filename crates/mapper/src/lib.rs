@@ -8,6 +8,11 @@
 //! the MCH paper), so heterogeneous candidate structures are evaluated with
 //! real technology costs.
 //!
+//! Both mappers delegate their covering loop (delay pass, required-time
+//! propagation, memoised area recovery) to the shared [`engine`]; the
+//! target-specific parts — candidate enumeration, cost model, netlist
+//! emission — are supplied through the [`CoverTarget`] trait.
+//!
 //! # Example
 //!
 //! ```
@@ -34,12 +39,16 @@
 #![warn(missing_docs)]
 
 mod asic;
+pub mod engine;
 mod lut;
 mod mapping;
 mod netlist;
 
-pub use asic::{map_asic, map_asic_network, AsicMapParams};
-pub use lut::{map_lut, map_lut_network, LutMapParams};
+pub use asic::{
+    library_cost_model, map_asic, map_asic_network, map_asic_with_cuts, AsicMapParams, AsicTarget,
+};
+pub use engine::{CoverProblem, CoverTarget, EngineParams, SLACK_EPS};
+pub use lut::{map_lut, map_lut_network, map_lut_with_cuts, LutMapParams, LutTarget};
 pub use mapping::{prepare_cuts, MappingObjective};
 pub use mch_cut::{CutCost, CutCostModel, CutCosts};
 pub use netlist::{CellNetlist, LutNetlist, MappedCell, MappedLut, NetRef};

@@ -1,10 +1,17 @@
 //! Cut-based K-LUT (FPGA) technology mapping with choice-network support.
+//!
+//! The covering loop — delay pass, required-time propagation, area recovery —
+//! lives in the shared [`crate::engine`]; this module supplies the K-LUT
+//! [`CoverTarget`]: every cut of at most `K` leaves is implementable (the LUT
+//! mask is the cut function), so candidates need no Boolean matching and the
+//! cost model is the LUT library's uniform delay/area.
 
+use crate::engine::{cover, Cover, CoverTarget, EngineParams};
 use crate::mapping::{prepare_cuts, MappingObjective};
 use crate::netlist::{LutNetlist, NetRef};
 use mch_choice::ChoiceNetwork;
-use mch_cut::{CutCost, CutCostModel};
-use mch_logic::{NodeId, TruthTable};
+use mch_cut::{CutCost, CutCostModel, NetworkCuts};
+use mch_logic::{Network, NodeId, TruthTable};
 use mch_techlib::LutLibrary;
 use std::collections::HashMap;
 
@@ -17,6 +24,15 @@ pub struct LutMapParams {
     pub cut_limit: usize,
     /// Number of area-recovery passes after the delay-oriented pass.
     pub area_rounds: usize,
+    /// Run the engine's exact-area re-selection pass after the area-flow
+    /// rounds (see [`EngineParams::exact_area`]). Off by default — it changes
+    /// covers, and the default flows pin their quality numbers.
+    pub exact_area: bool,
+    /// Memoise per-node selections across area rounds (see
+    /// [`crate::engine`]). On by default; `false` is the recompute baseline
+    /// the `mapping_rounds` bench measures against. Results are bit-identical
+    /// either way.
+    pub memoise: bool,
     /// How cuts are ranked before the per-node `cut_limit` truncates them
     /// (see [`CutCost`]); defaults to the objective's natural ranking.
     pub cut_ranking: CutCost,
@@ -34,6 +50,8 @@ impl LutMapParams {
             objective,
             cut_limit: 8,
             area_rounds: 3,
+            exact_area: false,
+            memoise: true,
             cut_ranking: objective.default_ranking(),
             threads: mch_cut::default_threads(),
         }
@@ -50,6 +68,33 @@ impl LutMapParams {
         self.threads = threads.max(1);
         self
     }
+
+    /// Returns the same parameters with an explicit area-recovery round count.
+    pub fn with_area_rounds(mut self, rounds: usize) -> Self {
+        self.area_rounds = rounds;
+        self
+    }
+
+    /// Returns the same parameters with the exact-area final pass toggled.
+    pub fn with_exact_area(mut self, exact: bool) -> Self {
+        self.exact_area = exact;
+        self
+    }
+
+    /// Returns the same parameters with selection memoisation toggled.
+    pub fn with_memoise(mut self, memoise: bool) -> Self {
+        self.memoise = memoise;
+        self
+    }
+
+    fn engine_params(&self) -> EngineParams {
+        EngineParams {
+            objective: self.objective,
+            area_rounds: self.area_rounds,
+            exact_area: self.exact_area,
+            memoise: self.memoise,
+        }
+    }
 }
 
 impl Default for LutMapParams {
@@ -58,59 +103,43 @@ impl Default for LutMapParams {
     }
 }
 
+/// One concrete way of covering a node with a single LUT: a support-reduced
+/// cut and the LUT mask implementing its function.
+///
+/// Opaque outside this module; public only because it is [`LutTarget`]'s
+/// [`CoverTarget::Candidate`] associated type.
 #[derive(Clone, Debug)]
-struct LutCandidate {
+pub struct LutCandidate {
     leaves: Vec<NodeId>,
     function: TruthTable,
 }
 
-impl LutCandidate {
-    fn arrival(&self, arrivals: &[f64], lut_delay: f64) -> f64 {
-        self.leaves
-            .iter()
-            .map(|l| arrivals[l.index()])
-            .fold(0.0, f64::max)
-            + lut_delay
-    }
+/// The K-LUT instantiation of the covering engine's [`CoverTarget`].
+///
+/// Public so callers can build a [`crate::engine::CoverProblem`] and solve it
+/// repeatedly under different [`EngineParams`] (the `mapping_rounds` bench
+/// does exactly that).
+pub struct LutTarget<'a> {
+    lut: &'a LutLibrary,
+    cuts: &'a NetworkCuts,
+}
 
-    fn area_flow(&self, flows: &[f64], refs: &[f64], lut_area: f64) -> f64 {
-        let mut acc = lut_area;
-        for l in &self.leaves {
-            acc += flows[l.index()] / refs[l.index()].max(1.0);
-        }
-        acc
+impl<'a> LutTarget<'a> {
+    /// Creates the target over pre-enumerated cuts (from [`prepare_cuts`]
+    /// with cut size `lut.k()`).
+    pub fn new(lut: &'a LutLibrary, cuts: &'a NetworkCuts) -> Self {
+        LutTarget { lut, cuts }
     }
 }
 
-/// Maps a choice network onto K-input LUTs.
-///
-/// Identical in structure to the ASIC mapper, except that every cut of at most
-/// `K` leaves is implementable (the LUT mask is the cut function), so no
-/// Boolean matching is needed. Choice-node cuts are transferred to their
-/// representatives first, so candidate structures from other representations
-/// compete on equal terms — this is the configuration that produced the EPFL
-/// best-results entries in the paper (Table II).
-pub fn map_lut(choice: &ChoiceNetwork, lut: &LutLibrary, params: &LutMapParams) -> LutNetlist {
-    let net = choice.network();
-    // The unit model is exact for LUTs: one level, one LUT per cut.
-    let cuts = prepare_cuts(
-        choice,
-        lut.k(),
-        params.cut_limit,
-        params.cut_ranking,
-        &CutCostModel::unit(),
-        params.threads,
-    );
+impl CoverTarget for LutTarget<'_> {
+    type Candidate = LutCandidate;
+    type Netlist = LutNetlist;
 
-    let original_gates: Vec<NodeId> = net
-        .gate_ids()
-        .filter(|id| choice.is_original(*id))
-        .collect();
-    let mut candidates: Vec<Vec<LutCandidate>> = vec![Vec::new(); net.len()];
-    for &id in &original_gates {
+    fn candidates(&self, _net: &Network, id: NodeId) -> Vec<LutCandidate> {
         let mut cands = Vec::new();
-        for cut in cuts.of(id).iter() {
-            if cut.is_trivial() || cut.size() > lut.k() {
+        for cut in self.cuts.of(id).iter() {
+            if cut.is_trivial() || cut.size() > self.lut.k() {
                 continue;
             }
             let (reduced, support) = cut.function().shrink_to_support();
@@ -144,209 +173,160 @@ pub fn map_lut(choice: &ChoiceNetwork, lut: &LutLibrary, params: &LutMapParams) 
             }
         }
         assert!(!cands.is_empty(), "node {id} has no K-feasible cut");
-        candidates[id.index()] = cands;
+        cands
     }
 
-    let mut refs = vec![0.0f64; net.len()];
-    for &id in &original_gates {
-        for f in net.node(id).fanins() {
-            refs[f.node().index()] += 1.0;
-        }
-    }
-    for o in net.outputs() {
-        refs[o.node().index()] += 1.0;
+    fn leaves<'b>(&self, cand: &'b LutCandidate) -> &'b [NodeId] {
+        &cand.leaves
     }
 
-    // Delay-oriented pass.
-    let mut arrival = vec![0.0f64; net.len()];
-    let mut flow = vec![0.0f64; net.len()];
-    let mut best: Vec<usize> = vec![usize::MAX; net.len()];
-    for &id in &original_gates {
-        let cands = &candidates[id.index()];
-        let mut chosen = 0;
-        let mut key = (f64::INFINITY, f64::INFINITY);
-        for (i, c) in cands.iter().enumerate() {
-            let arr = c.arrival(&arrival, lut.delay());
-            let af = c.area_flow(&flow, &refs, lut.area());
-            if (arr, af) < key {
-                key = (arr, af);
-                chosen = i;
-            }
-        }
-        best[id.index()] = chosen;
-        arrival[id.index()] = key.0;
-        flow[id.index()] =
-            cands[chosen].area_flow(&flow, &refs, lut.area()) / refs[id.index()].max(1.0);
-    }
-    let delay_target = net
-        .outputs()
-        .iter()
-        .map(|o| arrival[o.node().index()])
-        .fold(0.0, f64::max);
-
-    // Area-recovery passes.
-    for _ in 0..params.area_rounds {
-        let mut required = vec![f64::INFINITY; net.len()];
-        if params.objective != MappingObjective::Area {
-            for o in net.outputs() {
-                let idx = o.node().index();
-                required[idx] = required[idx].min(delay_target);
-            }
-            for &id in original_gates.iter().rev() {
-                let r = required[id.index()];
-                if !r.is_finite() {
-                    continue;
-                }
-                let c = &candidates[id.index()][best[id.index()]];
-                for l in &c.leaves {
-                    required[l.index()] = required[l.index()].min(r - lut.delay());
-                }
-            }
-        }
-        for &id in &original_gates {
-            let cands = &candidates[id.index()];
-            let node_required = required[id.index()];
-            let strict = params.objective == MappingObjective::Delay;
-            let min_arrival = cands
-                .iter()
-                .map(|c| c.arrival(&arrival, lut.delay()))
-                .fold(f64::INFINITY, f64::min);
-            let mut chosen = best[id.index()];
-            let mut key = (f64::INFINITY, f64::INFINITY);
-            for (i, c) in cands.iter().enumerate() {
-                let arr = c.arrival(&arrival, lut.delay());
-                let feasible = if strict {
-                    arr <= min_arrival + 1e-9
-                } else {
-                    !node_required.is_finite() || arr <= node_required + 1e-9
-                };
-                if !feasible {
-                    continue;
-                }
-                let af = c.area_flow(&flow, &refs, lut.area());
-                if (af, arr) < key {
-                    key = (af, arr);
-                    chosen = i;
-                }
-            }
-            best[id.index()] = chosen;
-            let c = &cands[chosen];
-            arrival[id.index()] = c.arrival(&arrival, lut.delay());
-            flow[id.index()] =
-                c.area_flow(&flow, &refs, lut.area()) / refs[id.index()].max(1.0);
-        }
-    }
-
-    // Cover extraction.
-    let mut needed = vec![false; net.len()];
-    let mut stack: Vec<NodeId> = Vec::new();
-    for o in net.outputs() {
-        if net.is_gate(o.node()) {
-            stack.push(o.node());
-        }
-    }
-    while let Some(id) = stack.pop() {
-        if needed[id.index()] {
-            continue;
-        }
-        needed[id.index()] = true;
-        let c = &candidates[id.index()][best[id.index()]];
-        for l in &c.leaves {
-            if net.is_gate(*l) && !needed[l.index()] {
-                stack.push(*l);
-            }
-        }
-    }
-
-    let mut netlist = LutNetlist::new(net.name().to_string(), net.input_count());
-    let input_pos: HashMap<NodeId, usize> = net
-        .inputs()
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| (n, i))
-        .collect();
-
-    // Primary-output polarity is free in a LUT netlist as long as the driver's
-    // positive value has no other consumer: in that case the driver LUT's
-    // function is complemented in place. Otherwise a 1-input inverter LUT is
-    // inserted (rare).
-    let mut positive_uses: HashMap<NodeId, usize> = HashMap::new();
-    for &id in &original_gates {
-        if !needed[id.index()] {
-            continue;
-        }
-        for l in &candidates[id.index()][best[id.index()]].leaves {
-            *positive_uses.entry(*l).or_insert(0) += 1;
-        }
-    }
-    for o in net.outputs() {
-        if !o.is_complement() {
-            *positive_uses.entry(o.node()).or_insert(0) += 1;
-        }
-    }
-    let mut emit_complemented: HashMap<NodeId, bool> = HashMap::new();
-    for o in net.outputs() {
-        let node = o.node();
-        if o.is_complement()
-            && net.is_gate(node)
-            && needed[node.index()]
-            && positive_uses.get(&node).copied().unwrap_or(0) == 0
-        {
-            emit_complemented.insert(node, true);
-        }
-    }
-
-    let mut node_ref: HashMap<NodeId, NetRef> = HashMap::new();
-    let mut inverted: HashMap<NodeId, NetRef> = HashMap::new();
-
-    for &id in &original_gates {
-        if !needed[id.index()] {
-            continue;
-        }
-        let c = &candidates[id.index()][best[id.index()]];
-        let fanins: Vec<NetRef> = c
-            .leaves
+    fn arrival(&self, cand: &LutCandidate, arrivals: &[f64]) -> f64 {
+        cand.leaves
             .iter()
-            .map(|l| {
-                if l.is_const() {
-                    NetRef::Const(false)
-                } else if let Some(&i) = input_pos.get(l) {
-                    NetRef::Input(i)
-                } else {
-                    *node_ref.get(l).expect("leaf mapped before use")
-                }
-            })
-            .collect();
-        let function = if emit_complemented.get(&id).copied().unwrap_or(false) {
-            c.function.not()
-        } else {
-            c.function.clone()
-        };
-        let out = netlist.push_lut(function, fanins);
-        node_ref.insert(id, out);
+            .map(|l| arrivals[l.index()])
+            .fold(0.0, f64::max)
+            + self.lut.delay()
     }
 
-    for o in net.outputs() {
-        let node = o.node();
-        let complemented_in_place = emit_complemented.get(&node).copied().unwrap_or(false);
-        let mut r = if node.is_const() {
-            NetRef::Const(false)
-        } else if let Some(&i) = input_pos.get(&node) {
-            NetRef::Input(i)
-        } else {
-            *node_ref.get(&node).expect("output driver mapped")
-        };
-        if o.is_complement() != complemented_in_place {
-            r = match r {
-                NetRef::Const(v) => NetRef::Const(!v),
-                other => *inverted.entry(node).or_insert_with(|| {
-                    netlist.push_lut(TruthTable::var(1, 0).not(), vec![other])
-                }),
-            };
-        }
-        netlist.push_output(r);
+    fn area(&self, _cand: &LutCandidate) -> f64 {
+        self.lut.area()
     }
-    netlist
+
+    fn leaf_required(&self, _cand: &LutCandidate, _leaf_index: usize, root_required: f64) -> f64 {
+        root_required - self.lut.delay()
+    }
+
+    fn emit(&self, net: &Network, cover: &Cover<'_, LutCandidate>) -> LutNetlist {
+        let mut netlist = LutNetlist::new(net.name().to_string(), net.input_count());
+        let input_pos: HashMap<NodeId, usize> = net
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
+
+        // Primary-output polarity is free in a LUT netlist as long as the
+        // driver's positive value has no other consumer: in that case the
+        // driver LUT's function is complemented in place. Otherwise a 1-input
+        // inverter LUT is inserted (rare).
+        let mut positive_uses: HashMap<NodeId, usize> = HashMap::new();
+        for &id in cover.original_gates {
+            if !cover.needed[id.index()] {
+                continue;
+            }
+            for l in &cover.selected(id).leaves {
+                *positive_uses.entry(*l).or_insert(0) += 1;
+            }
+        }
+        for o in net.outputs() {
+            if !o.is_complement() {
+                *positive_uses.entry(o.node()).or_insert(0) += 1;
+            }
+        }
+        let mut emit_complemented: HashMap<NodeId, bool> = HashMap::new();
+        for o in net.outputs() {
+            let node = o.node();
+            if o.is_complement()
+                && net.is_gate(node)
+                && cover.needed[node.index()]
+                && positive_uses.get(&node).copied().unwrap_or(0) == 0
+            {
+                emit_complemented.insert(node, true);
+            }
+        }
+
+        let mut node_ref: HashMap<NodeId, NetRef> = HashMap::new();
+        let mut inverted: HashMap<NodeId, NetRef> = HashMap::new();
+
+        for &id in cover.original_gates {
+            if !cover.needed[id.index()] {
+                continue;
+            }
+            let c = cover.selected(id);
+            let fanins: Vec<NetRef> = c
+                .leaves
+                .iter()
+                .map(|l| {
+                    if l.is_const() {
+                        NetRef::Const(false)
+                    } else if let Some(&i) = input_pos.get(l) {
+                        NetRef::Input(i)
+                    } else {
+                        *node_ref.get(l).expect("leaf mapped before use")
+                    }
+                })
+                .collect();
+            let function = if emit_complemented.get(&id).copied().unwrap_or(false) {
+                c.function.not()
+            } else {
+                c.function.clone()
+            };
+            let out = netlist.push_lut(function, fanins);
+            node_ref.insert(id, out);
+        }
+
+        for o in net.outputs() {
+            let node = o.node();
+            let complemented_in_place = emit_complemented.get(&node).copied().unwrap_or(false);
+            let mut r = if node.is_const() {
+                NetRef::Const(false)
+            } else if let Some(&i) = input_pos.get(&node) {
+                NetRef::Input(i)
+            } else {
+                *node_ref.get(&node).expect("output driver mapped")
+            };
+            if o.is_complement() != complemented_in_place {
+                r = match r {
+                    NetRef::Const(v) => NetRef::Const(!v),
+                    other => *inverted.entry(node).or_insert_with(|| {
+                        netlist.push_lut(TruthTable::var(1, 0).not(), vec![other])
+                    }),
+                };
+            }
+            netlist.push_output(r);
+        }
+        netlist
+    }
+}
+
+/// Maps a choice network onto K-input LUTs.
+///
+/// Runs the same shared covering engine as the ASIC mapper (see
+/// [`crate::engine`]), except that every cut of at most `K` leaves is
+/// implementable (the LUT mask is the cut function), so no Boolean matching
+/// is needed. Choice-node cuts are transferred to their representatives
+/// first, so candidate structures from other representations compete on equal
+/// terms — this is the configuration that produced the EPFL best-results
+/// entries in the paper (Table II).
+pub fn map_lut(choice: &ChoiceNetwork, lut: &LutLibrary, params: &LutMapParams) -> LutNetlist {
+    // The unit model is exact for LUTs: one level, one LUT per cut.
+    let cuts = prepare_cuts(
+        choice,
+        lut.k(),
+        params.cut_limit,
+        params.cut_ranking,
+        &CutCostModel::unit(),
+        params.threads,
+    );
+    map_lut_with_cuts(choice, lut, &cuts, params)
+}
+
+/// Covers a choice network onto K-LUTs over **pre-enumerated** cuts.
+///
+/// This is the covering phase of [`map_lut`] in isolation: `cuts` must come
+/// from [`prepare_cuts`] over the same choice network with cut size
+/// `lut.k()`. Use it to re-cover one cut set under several parameter settings
+/// — different `area_rounds`, `exact_area` or objectives — without paying
+/// enumeration and choice transfer again; the `mapping_rounds` bench measures
+/// exactly this call.
+pub fn map_lut_with_cuts(
+    choice: &ChoiceNetwork,
+    lut: &LutLibrary,
+    cuts: &NetworkCuts,
+    params: &LutMapParams,
+) -> LutNetlist {
+    let target = LutTarget::new(lut, cuts);
+    cover(choice, &target, &params.engine_params())
 }
 
 /// Convenience: maps a plain network (no choices) onto K-LUTs.
@@ -440,5 +420,43 @@ mod tests {
         n.add_output(!f);
         let mapped = map_lut_network(&n, &LutLibrary::k6(), &LutMapParams::default());
         assert!(cec(&n, &mapped.to_network()).holds());
+    }
+
+    #[test]
+    fn memoised_selection_matches_full_recomputation() {
+        for net in [parity8(), adder4()] {
+            for objective in [
+                MappingObjective::Delay,
+                MappingObjective::Balanced,
+                MappingObjective::Area,
+            ] {
+                for rounds in [0, 3, 8] {
+                    let params = LutMapParams::new(objective).with_area_rounds(rounds);
+                    let memo = map_lut_network(&net, &LutLibrary::k6(), &params);
+                    let full =
+                        map_lut_network(&net, &LutLibrary::k6(), &params.with_memoise(false));
+                    assert_eq!(
+                        memo, full,
+                        "{}: {objective:?} with {rounds} rounds diverged",
+                        net.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_area_pass_stays_equivalent_and_not_larger() {
+        let net = adder4();
+        let params = LutMapParams::new(MappingObjective::Area);
+        let flow_only = map_lut_network(&net, &LutLibrary::k6(), &params);
+        let exact = map_lut_network(&net, &LutLibrary::k6(), &params.with_exact_area(true));
+        assert!(cec(&net, &exact.to_network()).holds());
+        assert!(
+            exact.lut_count() <= flow_only.lut_count(),
+            "exact-area pass grew the cover from {} to {} LUTs",
+            flow_only.lut_count(),
+            exact.lut_count()
+        );
     }
 }

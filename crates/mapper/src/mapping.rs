@@ -1,5 +1,10 @@
 //! Shared machinery of the cut-based mappers: mapping objectives and
 //! choice-aware cut preparation (Algorithm 3, lines 1–8).
+//!
+//! The other half of what the mappers share — the covering dynamic program
+//! itself (delay pass, required times, memoised area recovery) — lives in
+//! [`crate::engine`]; this module ends where prepared cut sets are handed to
+//! a [`crate::engine::CoverProblem`].
 
 use mch_choice::ChoiceNetwork;
 use mch_cut::{

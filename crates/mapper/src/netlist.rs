@@ -7,6 +7,39 @@ use mch_logic::{Network, NetworkKind, Signal, TruthTable};
 use mch_techlib::{CellId, Library};
 use std::fmt;
 
+/// Word-parallel evaluation of a truth table: `inputs[i]` carries 64 stimulus
+/// bits of variable `i`, the result carries the corresponding output bits.
+/// Sum-of-minterms over the table's ON-set — fine for the ≤ 6-input functions
+/// mapped netlists are built from.
+fn eval_table(table: &TruthTable, inputs: &[u64]) -> u64 {
+    debug_assert_eq!(table.num_vars(), inputs.len());
+    let mut out = 0u64;
+    for m in 0..table.num_bits() {
+        if table.bit(m) {
+            let mut term = !0u64;
+            for (i, &w) in inputs.iter().enumerate() {
+                term &= if (m >> i) & 1 == 1 { w } else { !w };
+            }
+            out |= term;
+        }
+    }
+    out
+}
+
+fn resolve_word(r: &NetRef, patterns: &[Vec<u64>], gates: &[Vec<u64>], w: usize) -> u64 {
+    match r {
+        NetRef::Const(v) => {
+            if *v {
+                !0u64
+            } else {
+                0u64
+            }
+        }
+        NetRef::Input(i) => patterns[*i][w],
+        NetRef::Gate(i) => gates[*i][w],
+    }
+}
+
 /// Reference to a driver inside a mapped netlist.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum NetRef {
@@ -181,6 +214,46 @@ impl CellNetlist {
         }
         net
     }
+
+    /// Simulates the netlist on word-parallel input patterns.
+    ///
+    /// `patterns[i]` holds the stimulus words of primary input `i` (64
+    /// patterns per word, matching [`mch_logic::simulate`]); cell functions
+    /// are evaluated from the library's truth tables. Returns one vector of
+    /// words per primary output, directly comparable against
+    /// [`mch_logic::simulate`] of the pre-mapping network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of pattern rows differs from the input count or
+    /// the rows have inconsistent lengths.
+    pub fn simulate(&self, library: &Library, patterns: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        assert_eq!(patterns.len(), self.inputs, "one pattern row per input");
+        let words = patterns.first().map_or(0, Vec::len);
+        for row in patterns {
+            assert_eq!(row.len(), words, "inconsistent pattern widths");
+        }
+        let mut values: Vec<Vec<u64>> = Vec::with_capacity(self.gates.len());
+        let mut ins: Vec<u64> = Vec::new();
+        for g in &self.gates {
+            let function = library.cell(g.cell).function();
+            let mut out = vec![0u64; words];
+            for (w, slot) in out.iter_mut().enumerate() {
+                ins.clear();
+                ins.extend(
+                    g.fanins
+                        .iter()
+                        .map(|f| resolve_word(f, patterns, &values, w)),
+                );
+                *slot = eval_table(function, &ins);
+            }
+            values.push(out);
+        }
+        self.outputs
+            .iter()
+            .map(|o| (0..words).map(|w| resolve_word(o, patterns, &values, w)).collect())
+            .collect()
+    }
 }
 
 fn resolve(r: &NetRef, pis: &[Signal], gates: &[Signal], net: &Network) -> Signal {
@@ -327,6 +400,45 @@ impl LutNetlist {
         }
         net
     }
+
+    /// Simulates the netlist on word-parallel input patterns.
+    ///
+    /// `patterns[i]` holds the stimulus words of primary input `i` (64
+    /// patterns per word, matching [`mch_logic::simulate`]); each LUT is
+    /// evaluated from its mask. Returns one vector of words per primary
+    /// output, directly comparable against [`mch_logic::simulate`] of the
+    /// pre-mapping network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of pattern rows differs from the input count or
+    /// the rows have inconsistent lengths.
+    pub fn simulate(&self, patterns: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        assert_eq!(patterns.len(), self.inputs, "one pattern row per input");
+        let words = patterns.first().map_or(0, Vec::len);
+        for row in patterns {
+            assert_eq!(row.len(), words, "inconsistent pattern widths");
+        }
+        let mut values: Vec<Vec<u64>> = Vec::with_capacity(self.luts.len());
+        let mut ins: Vec<u64> = Vec::new();
+        for l in &self.luts {
+            let mut out = vec![0u64; words];
+            for (w, slot) in out.iter_mut().enumerate() {
+                ins.clear();
+                ins.extend(
+                    l.fanins
+                        .iter()
+                        .map(|f| resolve_word(f, patterns, &values, w)),
+                );
+                *slot = eval_table(&l.function, &ins);
+            }
+            values.push(out);
+        }
+        self.outputs
+            .iter()
+            .map(|o| (0..words).map(|w| resolve_word(o, patterns, &values, w)).collect())
+            .collect()
+    }
 }
 
 impl fmt::Display for LutNetlist {
@@ -406,6 +518,40 @@ mod tests {
     fn forward_references_are_rejected() {
         let mut nl = LutNetlist::new("t", 1);
         let _ = nl.push_lut(TruthTable::var(1, 0), vec![NetRef::Gate(3)]);
+    }
+
+    #[test]
+    fn lut_netlist_simulation_matches_exported_network() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let mut nl = LutNetlist::new("t", 3);
+        let l0 = nl.push_lut(a.xor(&b), vec![NetRef::Input(0), NetRef::Input(1)]);
+        let l1 = nl.push_lut(a.and(&b).not(), vec![l0, NetRef::Input(2)]);
+        nl.push_output(l1);
+        nl.push_output(NetRef::Const(true));
+        let patterns = vec![vec![0xDEAD_BEEF_0123_4567], vec![0x0F0F_F0F0_AAAA_5555], vec![0x00FF_FF00_CCCC_3333]];
+        let direct = nl.simulate(&patterns);
+        let via_network = mch_logic::simulate(&nl.to_network(), &patterns);
+        assert_eq!(direct, via_network);
+        assert_eq!(direct[1], vec![!0u64]);
+    }
+
+    #[test]
+    fn cell_netlist_simulation_matches_exported_network() {
+        let lib = asap7_lite();
+        let nand = lib.find_cell("NAND2x1").unwrap();
+        let inv = lib.inverter();
+        let mut nl = CellNetlist::new("t", 2);
+        let g0 = nl.push_gate(nand, vec![NetRef::Input(0), NetRef::Input(1)]);
+        let g1 = nl.push_gate(inv, vec![g0]);
+        nl.push_output(g1);
+        nl.push_output(g0);
+        let patterns = vec![vec![0xFFFF_0000_F0F0_CCCC], vec![0xAAAA_AAAA_5555_5555]];
+        let direct = nl.simulate(&lib, &patterns);
+        let via_network = mch_logic::simulate(&nl.to_network(&lib), &patterns);
+        assert_eq!(direct, via_network);
+        // g1 is the AND of the two inputs.
+        assert_eq!(direct[0][0], patterns[0][0] & patterns[1][0]);
     }
 
     #[test]

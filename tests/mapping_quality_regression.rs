@@ -1,0 +1,99 @@
+//! Regression pin of the `mapping_quality` bench geomeans.
+//!
+//! Recomputes exactly what `cargo bench -p mch_bench --bench mapping_quality`
+//! measures on its default circuit list (`epfl_suite_small`): every circuit
+//! mapped twice at the same cut limit — structural vs hybrid ranking —
+//! through both mappers, aggregated as geometric-mean `hybrid / structural`
+//! ratios. The four ratios are pinned to the committed `BENCH_mapping.json`
+//! values at four decimals, so any quality drift introduced by an engine or
+//! mapper refactor is caught by `cargo test` locally — not only by the CI
+//! bench gate (which merely checks `<= 1.005`).
+//!
+//! If a deliberate quality improvement moves these numbers, update the pins
+//! *and* the committed `BENCH_mapping.json` together.
+
+use mch::benchmarks::epfl_suite_small;
+use mch::cut::CutCost;
+use mch::mapper::{
+    map_asic_network, map_lut_network, AsicMapParams, LutMapParams, MappingObjective,
+};
+use mch::techlib::{asap7_lite, LutLibrary};
+
+/// The committed `BENCH_mapping.json` geomeans, four decimals.
+const PINNED_LUT_LEVELS: f64 = 0.7126;
+const PINNED_LUT_COUNT: f64 = 0.7800;
+const PINNED_ASIC_DELAY: f64 = 0.9930;
+const PINNED_ASIC_AREA: f64 = 0.9933;
+
+fn geomean(ratios: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = ratios.fold((0.0f64, 0usize), |(s, n), r| (s + r.ln(), n + 1));
+    (sum / n as f64).exp()
+}
+
+fn round4(x: f64) -> f64 {
+    (x * 10_000.0).round() / 10_000.0
+}
+
+#[test]
+fn mapping_quality_geomeans_are_pinned() {
+    let lut = LutLibrary::k6();
+    let lib = asap7_lite();
+    let objective = MappingObjective::Balanced;
+    struct Row {
+        s_luts: usize,
+        s_levels: u32,
+        h_luts: usize,
+        h_levels: u32,
+        s_area: f64,
+        s_delay: f64,
+        h_area: f64,
+        h_delay: f64,
+    }
+    let mut rows = Vec::new();
+    for b in epfl_suite_small() {
+        let net = &b.network;
+        let lut_params = LutMapParams::new(objective);
+        let asic_params = AsicMapParams::new(objective);
+        let s_lut = map_lut_network(net, &lut, &lut_params.with_ranking(CutCost::Structural));
+        let h_lut = map_lut_network(net, &lut, &lut_params.with_ranking(CutCost::Hybrid));
+        let s_asic = map_asic_network(net, &lib, &asic_params.with_ranking(CutCost::Structural));
+        let h_asic = map_asic_network(net, &lib, &asic_params.with_ranking(CutCost::Hybrid));
+        rows.push(Row {
+            s_luts: s_lut.lut_count(),
+            s_levels: s_lut.level_count(),
+            h_luts: h_lut.lut_count(),
+            h_levels: h_lut.level_count(),
+            s_area: s_asic.area(&lib),
+            s_delay: s_asic.delay(&lib),
+            h_area: h_asic.area(&lib),
+            h_delay: h_asic.delay(&lib),
+        });
+    }
+    assert!(rows.len() >= 10, "suite shrank to {} circuits", rows.len());
+
+    let lut_levels = geomean(rows.iter().map(|r| r.h_levels as f64 / r.s_levels as f64));
+    let lut_count = geomean(rows.iter().map(|r| r.h_luts as f64 / r.s_luts as f64));
+    let asic_delay = geomean(rows.iter().map(|r| r.h_delay / r.s_delay));
+    let asic_area = geomean(rows.iter().map(|r| r.h_area / r.s_area));
+
+    assert_eq!(
+        round4(lut_levels),
+        PINNED_LUT_LEVELS,
+        "LUT-level geomean drifted: {lut_levels:.6}"
+    );
+    assert_eq!(
+        round4(lut_count),
+        PINNED_LUT_COUNT,
+        "LUT-count geomean drifted: {lut_count:.6}"
+    );
+    assert_eq!(
+        round4(asic_delay),
+        PINNED_ASIC_DELAY,
+        "ASIC-delay geomean drifted: {asic_delay:.6}"
+    );
+    assert_eq!(
+        round4(asic_area),
+        PINNED_ASIC_AREA,
+        "ASIC-area geomean drifted: {asic_area:.6}"
+    );
+}
