@@ -3,7 +3,7 @@
 //! (functionally equivalent candidate structures).
 
 use mch_logic::{simulate_nodes, GateKind, Network, NetworkKind, NodeId, Prng, Signal};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A mixed network with structural choices.
 ///
@@ -12,12 +12,24 @@ use std::collections::HashMap;
 /// through equivalence classes. Representative nodes are the original nodes;
 /// each may own any number of choice nodes, each with a phase flag (`true`
 /// when the choice computes the complement of the representative).
-#[derive(Clone, Debug)]
+///
+/// # Determinism
+///
+/// Choice classes are stored in id-sorted structures ([`BTreeMap`]s), so
+/// every iteration a consumer can observe —
+/// [`representatives`](ChoiceNetwork::representatives),
+/// [`verify`](ChoiceNetwork::verify), equality comparison — is in ascending
+/// node-id order, independent of any hasher seed. (An earlier revision kept `HashMap`s here; the mapper's
+/// choice transfer had to sort around it, and anything that forgot inherited
+/// run-to-run nondeterminism from the source.) Two choice networks built the
+/// same way therefore compare equal with `==`, down to the underlying
+/// network's node vector.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ChoiceNetwork {
     network: Network,
     original_len: usize,
-    choices: HashMap<NodeId, Vec<(NodeId, bool)>>,
-    repr: HashMap<NodeId, (NodeId, bool)>,
+    choices: BTreeMap<NodeId, Vec<(NodeId, bool)>>,
+    repr: BTreeMap<NodeId, (NodeId, bool)>,
 }
 
 impl ChoiceNetwork {
@@ -50,8 +62,8 @@ impl ChoiceNetwork {
         ChoiceNetwork {
             original_len: network.len(),
             network: mixed,
-            choices: HashMap::new(),
-            repr: HashMap::new(),
+            choices: BTreeMap::new(),
+            repr: BTreeMap::new(),
         }
     }
 
@@ -118,7 +130,8 @@ impl ChoiceNetwork {
         self.repr.get(&node).copied()
     }
 
-    /// Representatives that own at least one choice.
+    /// Representatives that own at least one choice, in ascending id order
+    /// (guaranteed — consumers may rely on it for deterministic scheduling).
     pub fn representatives(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.choices.keys().copied()
     }
@@ -132,6 +145,7 @@ impl ChoiceNetwork {
     ///
     /// Returns the list of `(representative, choice)` pairs whose simulated
     /// values differ — an empty vector means no discrepancy was observed.
+    /// Pairs are reported in ascending representative-id order.
     pub fn verify(&self, words: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
         if self.choices.is_empty() {
             return Vec::new();
@@ -237,5 +251,49 @@ mod tests {
         };
         assert!(cn.add_choice(f.node(), wrong));
         assert_eq!(cn.verify(8, 3).len(), 1);
+    }
+
+    #[test]
+    fn representatives_iterate_in_ascending_id_order() {
+        // Insert choices against representatives in scrambled order; the
+        // iteration (and everything derived from it: scheduling, arena
+        // layouts, verification reports) must come back id-sorted.
+        let mut n = Network::new(NetworkKind::Aig);
+        let xs = n.add_inputs(4);
+        let g1 = n.and2(xs[0], xs[1]);
+        let g2 = n.and2(xs[2], xs[3]);
+        let g3 = n.and2(g1, g2);
+        n.add_output(g3);
+        let mut cn = ChoiceNetwork::from_network(&n);
+        for &repr in [g3, g1, g2].iter() {
+            let cand = {
+                let net = cn.network_mut();
+                let inner = net.node(repr.node()).fanins().to_vec();
+                let o = net.maj3(!inner[0], !inner[1], Signal::CONST1);
+                !o
+            };
+            assert!(cn.add_choice(repr.node(), cand), "candidate for {repr}");
+        }
+        let reprs: Vec<NodeId> = cn.representatives().collect();
+        let mut sorted = reprs.clone();
+        sorted.sort_unstable();
+        assert_eq!(reprs, sorted, "representatives must iterate id-sorted");
+        assert_eq!(reprs.len(), 3);
+        assert!(cn.verify(16, 1).is_empty());
+    }
+
+    #[test]
+    fn equal_construction_sequences_compare_equal() {
+        let (n, a, b, f) = base();
+        let build = || {
+            let mut cn = ChoiceNetwork::from_network(&n);
+            let cand = {
+                let net = cn.network_mut();
+                net.maj3(a, b, Signal::CONST0)
+            };
+            cn.add_choice(f.node(), cand);
+            cn
+        };
+        assert_eq!(build(), build());
     }
 }

@@ -1,13 +1,57 @@
 //! Construction of mixed structural choice networks (Algorithms 1 and 2).
+//!
+//! # Plan/commit construction
+//!
+//! Both algorithms are organised as a **plan** half that computes detached
+//! *choice recipes* without touching the [`ChoiceNetwork`], and a **commit**
+//! half that replays recipes into it:
+//!
+//! * Algorithm 1 (one-to-one mapping) plans one styled
+//!   [`GateRecipe`](crate::GateRecipe) template per (representation, gate
+//!   kind); the commit walks the gates in id order, binding each template to
+//!   the gate's mapped fanins. Planning here is O(1) — the phase is
+//!   dominated by its inherently serial structural-hash walk.
+//! * Algorithm 2 (multi-strategy resynthesis) is the expensive phase and the
+//!   one that parallelises: for every gate, workers classify the node, pull
+//!   its cuts, evaluate its MFFC function over dense reused scratch,
+//!   NPN-canonicalise each candidate function once, and synthesise missing
+//!   class representatives into worker-local caches
+//!   ([`NpnDatabase::plan`]-family); the coordinator commits the resulting
+//!   [`NpnPlan`]s strictly in node-id order, merging worker-local misses
+//!   into the shared database as it goes ([`NpnDatabase::commit`]).
+//!
+//! Because every plan is a pure function of the *original* network and the
+//! commit order is fixed, the threaded construction is **byte-identical** to
+//! the serial one — same mixed network, same choice classes, same statistics
+//! (wall-times aside) — for every thread count. `threads = 1` fuses plan and
+//! commit per emission (no recipes are buffered), which also skips the
+//! planning the commit's early exit would discard.
 
 use crate::choice_network::ChoiceNetwork;
-use crate::npn_db::NpnDatabase;
-use crate::strategies::StrategyLibrary;
-use mch_cut::{enumerate_cuts, CutParams};
+use crate::npn_db::{NpnDatabase, NpnPlan, NpnPlanCache};
+use crate::strategies::{GateRecipe, StrategyLibrary};
+use mch_cut::{
+    enumerate_cuts_threaded, Cut, CutCostModel, CutParams, NetworkCuts, WorkerPool,
+};
 use mch_logic::{
     critical_path_nodes, mffc, GateKind, Network, NetworkKind, NodeId, Signal, TruthTable,
 };
 use std::collections::HashSet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Smallest gate count worth planning on the pool; below it the fused serial
+/// path wins on coordination cost alone.
+const PLAN_MIN_BATCH: usize = 64;
+
+/// Chunks handed out per worker during recipe planning; smaller chunks load
+/// balance better (MFFC sizes vary wildly) at slightly more channel traffic.
+const PLAN_CHUNKS_PER_WORKER: usize = 4;
+
+/// Minimum nodes per planning chunk.
+const PLAN_MIN_CHUNK: usize = 32;
 
 /// Parameters of the MCH construction (the inputs of Algorithm 1).
 #[derive(Clone, Debug)]
@@ -28,6 +72,11 @@ pub struct MchParams {
     pub area_strategies: StrategyLibrary,
     /// Cap on the number of choices recorded per representative.
     pub max_candidates_per_node: usize,
+    /// Worker threads for cut enumeration and choice-recipe planning
+    /// (commits stay on the calling thread; results are identical for every
+    /// value). Defaults to [`mch_cut::default_threads`]; `1` is the fused
+    /// serial path.
+    pub threads: usize,
 }
 
 impl MchParams {
@@ -43,6 +92,7 @@ impl MchParams {
             level_strategies: StrategyLibrary::level_oriented(&[NetworkKind::Aig, NetworkKind::Xag]),
             area_strategies: StrategyLibrary::area_oriented(&[NetworkKind::Aig]),
             max_candidates_per_node: 3,
+            threads: mch_cut::default_threads(),
         }
     }
 
@@ -58,6 +108,7 @@ impl MchParams {
             level_strategies: StrategyLibrary::level_oriented(&[NetworkKind::Xag, NetworkKind::Aig]),
             area_strategies: StrategyLibrary::area_oriented(&[NetworkKind::Aig]),
             max_candidates_per_node: 3,
+            threads: mch_cut::default_threads(),
         }
     }
 
@@ -73,6 +124,7 @@ impl MchParams {
             level_strategies: StrategyLibrary::level_oriented(&[NetworkKind::Xmg]),
             area_strategies: StrategyLibrary::area_oriented(&[NetworkKind::Xmg, NetworkKind::Aig]),
             max_candidates_per_node: 3,
+            threads: mch_cut::default_threads(),
         }
     }
 
@@ -88,7 +140,16 @@ impl MchParams {
             level_strategies: StrategyLibrary::level_oriented(kinds),
             area_strategies: StrategyLibrary::area_oriented(kinds),
             max_candidates_per_node: 3,
+            threads: mch_cut::default_threads(),
         }
+    }
+
+    /// Returns the same parameters with an explicit worker-thread count for
+    /// cut enumeration and recipe planning. Every value produces an
+    /// identical choice network; `1` selects the fused serial path.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -99,6 +160,11 @@ impl Default for MchParams {
 }
 
 /// Statistics reported by [`build_mch`].
+///
+/// The choice counts and NPN-cache counters are deterministic — identical
+/// for every thread count. The per-phase wall times are measurements and
+/// vary run to run; compare [`timeless`](MchStats::timeless) views when
+/// asserting determinism.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub struct MchStats {
     /// Choices contributed by one-to-one mapping of secondary representations.
@@ -109,6 +175,20 @@ pub struct MchStats {
     pub area_choices: usize,
     /// Number of nodes classified as critical.
     pub critical_nodes: usize,
+    /// Distinct NPN (class, strategy, representation) entries synthesised.
+    pub npn_classes: usize,
+    /// Emissions served from the NPN cache instead of fresh synthesis.
+    pub npn_cache_hits: usize,
+    /// Wall time of the one-to-one mapping phase (Algorithm 1, line 1).
+    pub one_to_one_time: Duration,
+    /// Wall time of critical-path classification plus cut enumeration.
+    pub cut_enum_time: Duration,
+    /// Wall time of recipe planning (classification, MFFC evaluation, NPN
+    /// canonicalisation, class synthesis) — the parallel phase.
+    pub resynthesis_time: Duration,
+    /// Wall time of committing recipes into the choice network (imports,
+    /// structural hashing, class linking) — the serial phase.
+    pub commit_time: Duration,
 }
 
 impl MchStats {
@@ -116,98 +196,680 @@ impl MchStats {
     pub fn total(&self) -> usize {
         self.representation_choices + self.level_choices + self.area_choices
     }
-}
 
-/// Emits one gate in the style of `kind` using only raw primitives (the
-/// target network is mixed, so every primitive is allowed).
-fn emit_styled(
-    net: &mut Network,
-    kind: NetworkKind,
-    gate: GateKind,
-    fanins: &[Signal],
-) -> Signal {
-    fn s_and(net: &mut Network, kind: NetworkKind, a: Signal, b: Signal) -> Signal {
-        match kind {
-            NetworkKind::Mig | NetworkKind::Xmg => net.maj3(a, b, Signal::CONST0),
-            _ => net.and2(a, b),
+    /// This statistics record with the wall-time fields zeroed: everything
+    /// left is deterministic, so two builds of the same network at any two
+    /// thread counts satisfy `a.timeless() == b.timeless()`.
+    pub fn timeless(&self) -> MchStats {
+        MchStats {
+            one_to_one_time: Duration::ZERO,
+            cut_enum_time: Duration::ZERO,
+            resynthesis_time: Duration::ZERO,
+            commit_time: Duration::ZERO,
+            ..*self
         }
-    }
-    fn s_or(net: &mut Network, kind: NetworkKind, a: Signal, b: Signal) -> Signal {
-        match kind {
-            NetworkKind::Mig | NetworkKind::Xmg => net.maj3(a, b, Signal::CONST1),
-            _ => !net.and2(!a, !b),
-        }
-    }
-    fn s_xor(net: &mut Network, kind: NetworkKind, a: Signal, b: Signal) -> Signal {
-        match kind {
-            NetworkKind::Xag | NetworkKind::Xmg | NetworkKind::Mixed => net.xor2(a, b),
-            _ => {
-                let t = s_and(net, kind, a, !b);
-                let e = s_and(net, kind, !a, b);
-                s_or(net, kind, t, e)
-            }
-        }
-    }
-    fn s_maj(net: &mut Network, kind: NetworkKind, a: Signal, b: Signal, c: Signal) -> Signal {
-        match kind {
-            NetworkKind::Mig | NetworkKind::Xmg | NetworkKind::Mixed => net.maj3(a, b, c),
-            _ => {
-                let ab = s_and(net, kind, a, b);
-                let aob = s_or(net, kind, a, b);
-                let cc = s_and(net, kind, c, aob);
-                s_or(net, kind, ab, cc)
-            }
-        }
-    }
-    match gate {
-        GateKind::And2 => s_and(net, kind, fanins[0], fanins[1]),
-        GateKind::Xor2 => s_xor(net, kind, fanins[0], fanins[1]),
-        GateKind::Maj3 => s_maj(net, kind, fanins[0], fanins[1], fanins[2]),
-        _ => unreachable!("only gates are emitted"),
     }
 }
 
-/// Computes the function of `root` over the cone bounded by `leaves`.
+/// The three styled one-to-one templates of one secondary representation.
+struct StyledTemplates {
+    and2: GateRecipe,
+    xor2: GateRecipe,
+    maj3: GateRecipe,
+}
+
+impl StyledTemplates {
+    fn new(kind: NetworkKind) -> StyledTemplates {
+        StyledTemplates {
+            and2: GateRecipe::styled(kind, GateKind::And2),
+            xor2: GateRecipe::styled(kind, GateKind::Xor2),
+            maj3: GateRecipe::styled(kind, GateKind::Maj3),
+        }
+    }
+
+    fn of(&self, gate: GateKind) -> &GateRecipe {
+        match gate {
+            GateKind::And2 => &self.and2,
+            GateKind::Xor2 => &self.xor2,
+            GateKind::Maj3 => &self.maj3,
+            _ => unreachable!("only gates are emitted"),
+        }
+    }
+}
+
+/// Reused scratch for evaluating cone functions: a dense index map
+/// (epoch-stamped `slot`/`stamp` arrays over node ids) plus a value arena,
+/// replacing the per-cone `HashMap<NodeId, TruthTable>` and the
+/// clone-per-fanin evaluation of the original implementation — the same
+/// zero-allocation treatment cut enumeration received.
+struct ConeScratch {
+    sorted: Vec<NodeId>,
+    slot: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    values: Vec<TruthTable>,
+}
+
+impl ConeScratch {
+    fn new(network_len: usize) -> ConeScratch {
+        ConeScratch {
+            sorted: Vec::new(),
+            slot: vec![0; network_len],
+            stamp: vec![0; network_len],
+            epoch: 0,
+            values: Vec::new(),
+        }
+    }
+
+    /// Binds `id` to `table` in the current epoch, overwriting an existing
+    /// binding (the constant node may shadow a degenerate leaf binding,
+    /// matching the insertion order of the original map-based code).
+    fn bind(&mut self, id: NodeId, table: TruthTable) {
+        let i = id.index();
+        if self.stamp[i] == self.epoch {
+            self.values[self.slot[i] as usize] = table;
+        } else {
+            self.stamp[i] = self.epoch;
+            self.slot[i] = self.values.len() as u32;
+            self.values.push(table);
+        }
+    }
+
+    fn get(&self, id: NodeId) -> Option<&TruthTable> {
+        let i = id.index();
+        (self.stamp[i] == self.epoch).then(|| &self.values[self.slot[i] as usize])
+    }
+
+    /// The table seen through fanin edge `s` (negated into an owned copy
+    /// only when the edge is complemented; plain edges borrow).
+    fn fanin_table(&self, s: Signal) -> Option<std::borrow::Cow<'_, TruthTable>> {
+        let base = self.get(s.node())?;
+        Some(if s.is_complement() {
+            std::borrow::Cow::Owned(base.not())
+        } else {
+            std::borrow::Cow::Borrowed(base)
+        })
+    }
+
+    /// Computes the function of `root` over the cone bounded by `leaves`.
+    ///
+    /// Returns `None` when a cone node depends on something that is neither a
+    /// cone node nor a leaf (should not happen for MFFC cones) or when the
+    /// leaf count exceeds eight variables.
+    fn cone_function(
+        &mut self,
+        network: &Network,
+        cone: &[NodeId],
+        root: NodeId,
+        leaves: &[NodeId],
+    ) -> Option<TruthTable> {
+        if leaves.len() > 8 || leaves.is_empty() {
+            return None;
+        }
+        let n = leaves.len();
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.values.clear();
+        for (i, &l) in leaves.iter().enumerate() {
+            self.bind(l, TruthTable::var(n, i));
+        }
+        self.bind(NodeId::CONST0, TruthTable::zeros(n));
+        self.sorted.clear();
+        self.sorted.extend_from_slice(cone);
+        self.sorted.sort_unstable();
+        for idx in 0..self.sorted.len() {
+            let id = self.sorted[idx];
+            if self.get(id).is_some() {
+                continue;
+            }
+            let node = network.node(id);
+            let table = {
+                let f = node.fanins();
+                match node.kind() {
+                    GateKind::And2 => {
+                        let a = self.fanin_table(f[0])?;
+                        let b = self.fanin_table(f[1])?;
+                        a.and(&b)
+                    }
+                    GateKind::Xor2 => {
+                        let a = self.fanin_table(f[0])?;
+                        let b = self.fanin_table(f[1])?;
+                        a.xor(&b)
+                    }
+                    GateKind::Maj3 => {
+                        let a = self.fanin_table(f[0])?;
+                        let b = self.fanin_table(f[1])?;
+                        let c = self.fanin_table(f[2])?;
+                        TruthTable::maj(&a, &b, &c)
+                    }
+                    _ => return None,
+                }
+            };
+            self.bind(id, table);
+        }
+        self.get(root).cloned()
+    }
+}
+
+/// Per-worker planning scratch: the NPN spill-over cache, the dense cone
+/// evaluator and a reused leaf-signal buffer.
+struct PlanScratch {
+    npn: NpnPlanCache,
+    cone: ConeScratch,
+    leaf_sigs: Vec<Signal>,
+}
+
+impl PlanScratch {
+    fn new(network_len: usize) -> PlanScratch {
+        PlanScratch {
+            npn: NpnPlanCache::new(),
+            cone: ConeScratch::new(network_len),
+            leaf_sigs: Vec::new(),
+        }
+    }
+}
+
+/// Everything a planning worker reads; all shared, all immutable (the NPN
+/// database sits behind a read lock that commits briefly take for writing).
+struct PlanCtx<'a> {
+    network: &'a Network,
+    params: &'a MchParams,
+    critical: &'a HashSet<NodeId>,
+    cuts: &'a NetworkCuts,
+    db: &'a RwLock<NpnDatabase>,
+}
+
+/// The planned candidate emissions of one gate, committed in node-id order:
+/// cut-derived plans first (cut-major, strategy-minor — the serial emission
+/// order), then the MFFC resynthesis plans that apply only while the
+/// candidate cap is not yet reached.
 ///
-/// Returns `None` when a cone node depends on something that is neither a
-/// cone node nor a leaf (should not happen for MFFC cones) or when the leaf
-/// count exceeds eight variables.
-fn cone_function(
+/// Planning is budgeted: only the first `max_candidates_per_node +
+/// PLAN_EMIT_SLACK` emissions are planned (the cap means the commit rarely
+/// consumes more — see the emit statistics in `BENCH_choice.json`), and
+/// `resume` records where planning stopped so the commit can fall back to
+/// the fused serial loop for the rare node whose plans run dry before the
+/// cap is reached. The fallback replays exactly what an unbudgeted plan
+/// would have contained, so results stay byte-identical.
+struct NodeRecipe {
+    id: NodeId,
+    critical: bool,
+    cut_plans: Vec<NpnPlan>,
+    mffc_plans: Vec<NpnPlan>,
+    resume: Option<PlanResume>,
+}
+
+/// Where a budget-truncated plan stopped.
+#[derive(Copy, Clone, Debug)]
+enum PlanResume {
+    /// Continue with cut `cut_index`, strategy entry `entry_index` (then the
+    /// MFFC stage).
+    Cuts { cut_index: usize, entry_index: usize },
+    /// Cuts were fully planned; continue with MFFC strategy entry
+    /// `entry_index`.
+    Mffc { entry_index: usize },
+}
+
+/// Extra emissions planned beyond the per-node candidate cap, absorbing the
+/// occasional candidate that structural hashing resolves onto existing
+/// logic (which does not count toward the cap).
+const PLAN_EMIT_SLACK: usize = 1;
+
+/// A cut worth resynthesising: non-trivial, at least three leaves, and a
+/// non-constant function (Algorithm 2's candidate filter).
+fn cut_qualifies(cut: &Cut) -> bool {
+    !cut.is_trivial()
+        && cut.size() >= 3
+        && !cut.function().is_const0()
+        && !cut.function().is_const1()
+}
+
+/// The MFFC resynthesis candidate of a non-critical node: its cone function
+/// over the sorted leaves (Algorithm 2, lines 8 and 11), or `None` when the
+/// cone is too small, too wide or degenerate.
+fn mffc_candidate(
     network: &Network,
-    cone: &[NodeId],
-    root: NodeId,
-    leaves: &[NodeId],
-) -> Option<TruthTable> {
-    if leaves.len() > 8 || leaves.is_empty() {
+    params: &MchParams,
+    id: NodeId,
+    cone: &mut ConeScratch,
+) -> Option<(TruthTable, Vec<Signal>)> {
+    let mffc_cone = mffc(network, id, params.mffc_max_inputs);
+    if mffc_cone.size() < 2
+        || mffc_cone.leaves.len() < 2
+        || mffc_cone.leaves.len() > params.mffc_max_inputs
+    {
         return None;
     }
-    let n = leaves.len();
-    let mut values: std::collections::HashMap<NodeId, TruthTable> = std::collections::HashMap::new();
-    for (i, &l) in leaves.iter().enumerate() {
-        values.insert(l, TruthTable::var(n, i));
+    let mut leaves = mffc_cone.leaves.clone();
+    leaves.sort();
+    let function = cone.cone_function(network, &mffc_cone.nodes, id, &leaves)?;
+    if function.is_const0() || function.is_const1() {
+        return None;
     }
-    values.insert(NodeId::CONST0, TruthTable::zeros(n));
-    let mut sorted: Vec<NodeId> = cone.to_vec();
-    sorted.sort();
-    for id in sorted {
-        if values.contains_key(&id) {
+    let leaf_sigs = leaves.iter().map(|l| l.signal()).collect();
+    Some((function, leaf_sigs))
+}
+
+/// Plans the first `max_candidates_per_node + PLAN_EMIT_SLACK` candidate
+/// emissions of `id` (read-only): one NPN canonicalisation per candidate
+/// function, shared across the strategy entries that replay it; the MFFC is
+/// evaluated only when the cut candidates left budget for it (mirroring the
+/// serial loop, which rarely reaches the MFFC stage). Returns `None` when
+/// the node has no applicable strategy or no candidate.
+fn plan_node(
+    ctx: &PlanCtx<'_>,
+    db: &NpnDatabase,
+    scratch: &mut PlanScratch,
+    id: NodeId,
+) -> Option<NodeRecipe> {
+    let critical = ctx.critical.contains(&id);
+    let strategies = if critical {
+        &ctx.params.level_strategies
+    } else {
+        &ctx.params.area_strategies
+    };
+    if strategies.is_empty() {
+        return None;
+    }
+    let budget = ctx.params.max_candidates_per_node + PLAN_EMIT_SLACK;
+    let mut cut_plans = Vec::new();
+    let mut resume: Option<PlanResume> = None;
+    'cuts: for (cut_index, cut) in ctx.cuts.of(id).iter().enumerate() {
+        if !cut_qualifies(cut) {
             continue;
         }
-        let node = network.node(id);
-        let mut fs = Vec::with_capacity(3);
-        for s in node.fanins() {
-            let base = values.get(&s.node())?;
-            fs.push(if s.is_complement() { base.not() } else { base.clone() });
+        if cut_plans.len() >= budget {
+            resume = Some(PlanResume::Cuts {
+                cut_index,
+                entry_index: 0,
+            });
+            break;
         }
-        let t = match node.kind() {
-            GateKind::And2 => fs[0].and(&fs[1]),
-            GateKind::Xor2 => fs[0].xor(&fs[1]),
-            GateKind::Maj3 => TruthTable::maj(&fs[0], &fs[1], &fs[2]),
-            _ => return None,
-        };
-        values.insert(id, t);
+        scratch.leaf_sigs.clear();
+        scratch
+            .leaf_sigs
+            .extend(cut.leaves().iter().map(|l| l.signal()));
+        let canon = NpnDatabase::canonicalize(cut.function());
+        for (entry_index, entry) in strategies.entries().iter().enumerate() {
+            if cut_plans.len() >= budget {
+                resume = Some(PlanResume::Cuts {
+                    cut_index,
+                    entry_index,
+                });
+                break 'cuts;
+            }
+            cut_plans.push(db.plan_with_canon(
+                &canon,
+                &scratch.leaf_sigs,
+                entry.kind,
+                entry.strategy,
+                &mut scratch.npn,
+            ));
+        }
     }
-    values.get(&root).cloned()
+    let mut mffc_plans = Vec::new();
+    if !critical && resume.is_none() {
+        if cut_plans.len() >= budget {
+            // No budget left to even evaluate the cone; the commit falls back
+            // if (and only if) the cap is still unmet after the cut plans.
+            resume = Some(PlanResume::Mffc { entry_index: 0 });
+        } else if let Some((function, leaf_sigs)) =
+            mffc_candidate(ctx.network, ctx.params, id, &mut scratch.cone)
+        {
+            let canon = NpnDatabase::canonicalize(&function);
+            for (entry_index, entry) in ctx.params.area_strategies.entries().iter().enumerate() {
+                if cut_plans.len() + mffc_plans.len() >= budget {
+                    resume = Some(PlanResume::Mffc { entry_index });
+                    break;
+                }
+                mffc_plans.push(db.plan_with_canon(
+                    &canon,
+                    &leaf_sigs,
+                    entry.kind,
+                    entry.strategy,
+                    &mut scratch.npn,
+                ));
+            }
+        }
+    }
+    if cut_plans.is_empty() && mffc_plans.is_empty() && resume.is_none() {
+        return None;
+    }
+    Some(NodeRecipe {
+        id,
+        critical,
+        cut_plans,
+        mffc_plans,
+        resume,
+    })
+}
+
+/// Where [`emit_serial_from`] starts: cut `cut_index` at strategy entry
+/// `entry_index`, and — once the cuts are exhausted — MFFC strategy entry
+/// `mffc_entry`. `EmitCursor::START` is the whole serial loop.
+#[derive(Copy, Clone, Debug)]
+struct EmitCursor {
+    cut_index: usize,
+    entry_index: usize,
+    mffc_entry: usize,
+}
+
+impl EmitCursor {
+    const START: EmitCursor = EmitCursor {
+        cut_index: 0,
+        entry_index: 0,
+        mffc_entry: 0,
+    };
+}
+
+/// The fused serial emission of one node from `cursor` onwards: plan each
+/// emission and commit it immediately, stopping at the per-node candidate
+/// cap. The entire serial resynthesis is this from [`EmitCursor::START`];
+/// the threaded commit calls it from a recipe's resume point when the
+/// budgeted plans ran dry — both uses produce the exact serial sequence.
+#[allow(clippy::too_many_arguments)]
+fn emit_serial_from(
+    network: &Network,
+    params: &MchParams,
+    cuts: &NetworkCuts,
+    id: NodeId,
+    critical: bool,
+    cursor: EmitCursor,
+    added: &mut usize,
+    cn: &mut ChoiceNetwork,
+    db: &mut NpnDatabase,
+    stats: &mut MchStats,
+    scratch: &mut PlanScratch,
+    commit_time: &mut Duration,
+) {
+    let strategies = if critical {
+        &params.level_strategies
+    } else {
+        &params.area_strategies
+    };
+    if strategies.is_empty() {
+        return;
+    }
+    let max = params.max_candidates_per_node;
+    let cut_list = cuts.of(id);
+    // Only the cut the cursor points into starts mid-entries.
+    let mut entry_start = cursor.entry_index;
+    for cut in cut_list.iter().skip(cursor.cut_index) {
+        if *added >= max {
+            break;
+        }
+        let first_entry = std::mem::take(&mut entry_start);
+        if !cut_qualifies(cut) {
+            continue;
+        }
+        scratch.leaf_sigs.clear();
+        scratch
+            .leaf_sigs
+            .extend(cut.leaves().iter().map(|l| l.signal()));
+        let canon = NpnDatabase::canonicalize(cut.function());
+        for entry in &strategies.entries()[first_entry..] {
+            if *added >= max {
+                break;
+            }
+            let plan = db.plan_with_canon(
+                &canon,
+                &scratch.leaf_sigs,
+                entry.kind,
+                entry.strategy,
+                &mut scratch.npn,
+            );
+            let commit_start = Instant::now();
+            let sig = db.commit(cn.network_mut(), plan);
+            if cn.add_choice(id, sig) {
+                *added += 1;
+                if critical {
+                    stats.level_choices += 1;
+                } else {
+                    stats.area_choices += 1;
+                }
+            }
+            *commit_time += commit_start.elapsed();
+        }
+    }
+    if !critical && *added < max {
+        if let Some((function, leaf_sigs)) = mffc_candidate(network, params, id, &mut scratch.cone)
+        {
+            let canon = NpnDatabase::canonicalize(&function);
+            for entry in &params.area_strategies.entries()[cursor.mffc_entry..] {
+                if *added >= max {
+                    break;
+                }
+                let plan = db.plan_with_canon(
+                    &canon,
+                    &leaf_sigs,
+                    entry.kind,
+                    entry.strategy,
+                    &mut scratch.npn,
+                );
+                let commit_start = Instant::now();
+                let sig = db.commit(cn.network_mut(), plan);
+                if cn.add_choice(id, sig) {
+                    *added += 1;
+                    stats.area_choices += 1;
+                }
+                *commit_time += commit_start.elapsed();
+            }
+        }
+    }
+}
+
+/// Commits one node's recipe: replay the budgeted plans in order until the
+/// per-node candidate cap is reached; if they run dry with the cap unmet,
+/// continue with the fused serial loop from the recorded resume point.
+/// Exactly the emission sequence the serial path performs.
+#[allow(clippy::too_many_arguments)]
+fn commit_node(
+    network: &Network,
+    params: &MchParams,
+    cuts: &NetworkCuts,
+    cn: &mut ChoiceNetwork,
+    db: &mut NpnDatabase,
+    stats: &mut MchStats,
+    scratch: &mut PlanScratch,
+    commit_time: &mut Duration,
+    recipe: NodeRecipe,
+) {
+    let max = params.max_candidates_per_node;
+    let mut added = 0usize;
+    for plan in recipe.cut_plans {
+        if added >= max {
+            return;
+        }
+        let commit_start = Instant::now();
+        let sig = db.commit(cn.network_mut(), plan);
+        if cn.add_choice(recipe.id, sig) {
+            added += 1;
+            if recipe.critical {
+                stats.level_choices += 1;
+            } else {
+                stats.area_choices += 1;
+            }
+        }
+        *commit_time += commit_start.elapsed();
+    }
+    if !recipe.critical && added < max {
+        for plan in recipe.mffc_plans {
+            if added >= max {
+                return;
+            }
+            let commit_start = Instant::now();
+            let sig = db.commit(cn.network_mut(), plan);
+            if cn.add_choice(recipe.id, sig) {
+                added += 1;
+                stats.area_choices += 1;
+            }
+            *commit_time += commit_start.elapsed();
+        }
+    }
+    if added < max {
+        if let Some(resume) = recipe.resume {
+            let cursor = match resume {
+                PlanResume::Cuts {
+                    cut_index,
+                    entry_index,
+                } => EmitCursor {
+                    cut_index,
+                    entry_index,
+                    mffc_entry: 0,
+                },
+                PlanResume::Mffc { entry_index } => EmitCursor {
+                    cut_index: usize::MAX,
+                    entry_index: 0,
+                    mffc_entry: entry_index,
+                },
+            };
+            emit_serial_from(
+                network,
+                params,
+                cuts,
+                recipe.id,
+                recipe.critical,
+                cursor,
+                &mut added,
+                cn,
+                db,
+                stats,
+                scratch,
+                commit_time,
+            );
+        }
+    }
+}
+
+/// The fused serial form of Algorithm 2: plan each emission and commit it
+/// immediately, so the per-node candidate cap also caps the planning work.
+/// Byte-identical to the threaded plan/commit schedule.
+#[allow(clippy::too_many_arguments)]
+fn resynthesis_serial(
+    network: &Network,
+    params: &MchParams,
+    critical: &HashSet<NodeId>,
+    cuts: &NetworkCuts,
+    cn: &mut ChoiceNetwork,
+    db: &mut NpnDatabase,
+    stats: &mut MchStats,
+    commit_time: &mut Duration,
+) {
+    let mut scratch = PlanScratch::new(network.len());
+    for id in network.gate_ids() {
+        let mut added = 0usize;
+        emit_serial_from(
+            network,
+            params,
+            cuts,
+            id,
+            critical.contains(&id),
+            EmitCursor::START,
+            &mut added,
+            cn,
+            db,
+            stats,
+            &mut scratch,
+            commit_time,
+        );
+    }
+}
+
+/// The threaded schedule of Algorithm 2: workers pull id-ordered chunks of
+/// the gate list off an atomic cursor and plan recipes against the
+/// read-shared NPN database; the coordinator receives chunk results as they
+/// complete, buffers the out-of-order ones, and commits strictly in chunk
+/// (hence node-id) order while planning continues.
+#[allow(clippy::too_many_arguments)]
+fn resynthesis_threaded(
+    ctx: &PlanCtx<'_>,
+    gate_ids: &[NodeId],
+    threads: usize,
+    cn: &mut ChoiceNetwork,
+    stats: &mut MchStats,
+    commit_time: &mut Duration,
+) {
+    let chunk_size = gate_ids
+        .len()
+        .div_ceil(threads * PLAN_CHUNKS_PER_WORKER)
+        .max(PLAN_MIN_CHUNK);
+    let chunk_count = gate_ids.len().div_ceil(chunk_size);
+    let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    let (result_tx, result_rx) =
+        mpsc::channel::<(usize, std::thread::Result<Vec<NodeRecipe>>)>();
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..threads)
+        .map(|_| {
+            let result_tx = result_tx.clone();
+            Box::new(move || {
+                let mut scratch = PlanScratch::new(ctx.network.len());
+                loop {
+                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= chunk_count {
+                        break;
+                    }
+                    let start = chunk * chunk_size;
+                    let shard = &gate_ids[start..(start + chunk_size).min(gate_ids.len())];
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let db = ctx.db.read().expect("npn database poisoned");
+                        shard
+                            .iter()
+                            .filter_map(|&id| plan_node(ctx, &db, &mut scratch, id))
+                            .collect::<Vec<NodeRecipe>>()
+                    }));
+                    let died = result.is_err();
+                    if result_tx.send((chunk, result)).is_err() || died {
+                        break;
+                    }
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    drop(result_tx);
+    WorkerPool::global().run_with(jobs, move || {
+        let mut buffered: Vec<Option<Vec<NodeRecipe>>> =
+            (0..chunk_count).map(|_| None).collect();
+        let mut next_commit = 0usize;
+        // The coordinator's own scratch, for the rare serial fallback when a
+        // recipe's budgeted plans run dry before the candidate cap.
+        let mut scratch = PlanScratch::new(ctx.network.len());
+        for _ in 0..chunk_count {
+            let (chunk, result) = result_rx
+                .recv()
+                .expect("every plan worker exited without reporting a chunk");
+            match result {
+                Ok(recipes) => buffered[chunk] = Some(recipes),
+                // Re-raise a worker panic with its original payload; the
+                // remaining workers drain the cursor and exit on their own.
+                Err(payload) => resume_unwind(payload),
+            }
+            while next_commit < chunk_count {
+                let Some(recipes) = buffered[next_commit].take() else {
+                    break;
+                };
+                let mut db = ctx.db.write().expect("npn database poisoned");
+                for recipe in recipes {
+                    commit_node(
+                        ctx.network,
+                        ctx.params,
+                        ctx.cuts,
+                        cn,
+                        &mut db,
+                        stats,
+                        &mut scratch,
+                        commit_time,
+                        recipe,
+                    );
+                }
+                drop(db);
+                next_commit += 1;
+            }
+        }
+        debug_assert_eq!(next_commit, chunk_count, "all chunks must commit");
+    });
 }
 
 /// Builds a mixed structural choice network (Algorithm 1).
@@ -217,134 +879,102 @@ fn cone_function(
 /// through one-to-one mapping, and the multi-strategy structural choice
 /// algorithm (Algorithm 2) adds level-oriented candidates on critical paths
 /// and area-oriented candidates elsewhere.
+///
+/// Enumeration and resynthesis planning shard across
+/// [`MchParams::threads`] workers on the process-wide pool; the result is
+/// byte-identical for every thread count (see the module docs).
 pub fn build_mch(network: &Network, params: &MchParams) -> ChoiceNetwork {
     let (cn, _) = build_mch_with_stats(network, params);
     cn
 }
 
 /// Same as [`build_mch`] but also reports how many choices each source
-/// contributed.
+/// contributed and where the construction time went (see [`MchStats`]).
 pub fn build_mch_with_stats(network: &Network, params: &MchParams) -> (ChoiceNetwork, MchStats) {
     let mut cn = ChoiceNetwork::from_network(network);
     let mut stats = MchStats::default();
+    let threads = params.threads.max(1);
 
     // ------------------------------------------------------------------
-    // Line 1: one-to-one mapping into each secondary representation.
+    // Line 1: one-to-one mapping into each secondary representation. The
+    // styled templates are the (O(1)) plan; the walk is the commit — it is
+    // inherently serial because every emission feeds the structural hash
+    // that the next mapped fanin resolves against.
     // ------------------------------------------------------------------
+    let phase_start = Instant::now();
     for &kind in &params.secondary {
+        let templates = StyledTemplates::new(kind);
         let mut map: Vec<Signal> = vec![Signal::CONST0; network.len()];
         for &pi in network.inputs() {
             map[pi.index()] = pi.signal();
         }
+        let mut fanins = [Signal::CONST0; 3];
         for id in network.gate_ids() {
             let node = network.node(id);
-            let fanins: Vec<Signal> = node
-                .fanins()
-                .iter()
-                .map(|s| map[s.node().index()].xor_complement(s.is_complement()))
-                .collect();
-            let sig = emit_styled(cn.network_mut(), kind, node.kind(), &fanins);
+            let arity = node.fanins().len();
+            for (slot, s) in fanins.iter_mut().zip(node.fanins()) {
+                *slot = map[s.node().index()].xor_complement(s.is_complement());
+            }
+            let sig = templates
+                .of(node.kind())
+                .commit(cn.network_mut(), &fanins[..arity]);
             map[id.index()] = sig;
             if cn.add_choice(id, sig) {
                 stats.representation_choices += 1;
             }
         }
     }
+    stats.one_to_one_time = phase_start.elapsed();
 
     // ------------------------------------------------------------------
     // Line 2: critical-path collection.  Line 3: cut enumeration.
     // ------------------------------------------------------------------
+    let phase_start = Instant::now();
     let critical: HashSet<NodeId> = critical_path_nodes(network, params.critical_ratio);
     stats.critical_nodes = critical.len();
-    let cuts = enumerate_cuts(
+    let cuts = enumerate_cuts_threaded(
         network,
         &CutParams::new(params.cut_size, params.cut_limit),
+        &CutCostModel::unit(),
+        threads,
     );
+    stats.cut_enum_time = phase_start.elapsed();
 
     // ------------------------------------------------------------------
-    // Line 4 / Algorithm 2: multi-strategy structural choices.
+    // Line 4 / Algorithm 2: multi-strategy structural choices, as a
+    // plan/commit split (threaded) or the fused serial loop.
     // ------------------------------------------------------------------
-    let mut db = NpnDatabase::new();
+    let phase_start = Instant::now();
+    let mut commit_time = Duration::ZERO;
+    let db = RwLock::new(NpnDatabase::new());
     let gate_ids: Vec<NodeId> = network.gate_ids().collect();
-    for &id in &gate_ids {
-        let is_critical = critical.contains(&id);
-        let strategies = if is_critical {
-            &params.level_strategies
-        } else {
-            &params.area_strategies
+    if threads > 1 && gate_ids.len() >= PLAN_MIN_BATCH && !WorkerPool::is_worker() {
+        let ctx = PlanCtx {
+            network,
+            params,
+            critical: &critical,
+            cuts: &cuts,
+            db: &db,
         };
-        if strategies.is_empty() {
-            continue;
-        }
-        let mut added = 0usize;
-
-        // Candidates from the node's cuts.
-        for cut in cuts.of(id).iter() {
-            if added >= params.max_candidates_per_node {
-                break;
-            }
-            if cut.is_trivial() || cut.size() < 3 {
-                continue;
-            }
-            let function = cut.function();
-            if function.is_const0() || function.is_const1() {
-                continue;
-            }
-            let leaves: Vec<Signal> = cut.leaves().iter().map(|l| l.signal()).collect();
-            for entry in strategies.entries() {
-                if added >= params.max_candidates_per_node {
-                    break;
-                }
-                let sig = db.emit(
-                    cn.network_mut(),
-                    function,
-                    &leaves,
-                    entry.kind,
-                    entry.strategy,
-                );
-                if cn.add_choice(id, sig) {
-                    added += 1;
-                    if is_critical {
-                        stats.level_choices += 1;
-                    } else {
-                        stats.area_choices += 1;
-                    }
-                }
-            }
-        }
-
-        // Non-critical nodes: additionally resynthesise the whole MFFC
-        // (Algorithm 2, lines 8 and 11).
-        if !is_critical && added < params.max_candidates_per_node {
-            let cone = mffc(network, id, params.mffc_max_inputs);
-            if cone.size() >= 2 && cone.leaves.len() >= 2 && cone.leaves.len() <= params.mffc_max_inputs
-            {
-                let mut leaves = cone.leaves.clone();
-                leaves.sort();
-                if let Some(function) = cone_function(network, &cone.nodes, id, &leaves) {
-                    if !function.is_const0() && !function.is_const1() {
-                        let leaf_sigs: Vec<Signal> = leaves.iter().map(|l| l.signal()).collect();
-                        for entry in params.area_strategies.entries() {
-                            if added >= params.max_candidates_per_node {
-                                break;
-                            }
-                            let sig = db.emit(
-                                cn.network_mut(),
-                                &function,
-                                &leaf_sigs,
-                                entry.kind,
-                                entry.strategy,
-                            );
-                            if cn.add_choice(id, sig) {
-                                added += 1;
-                                stats.area_choices += 1;
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        resynthesis_threaded(&ctx, &gate_ids, threads, &mut cn, &mut stats, &mut commit_time);
+    } else {
+        let mut db = db.write().expect("npn database poisoned");
+        resynthesis_serial(
+            network,
+            params,
+            &critical,
+            &cuts,
+            &mut cn,
+            &mut db,
+            &mut stats,
+            &mut commit_time,
+        );
     }
+    let db = db.into_inner().expect("npn database poisoned");
+    stats.npn_classes = db.len();
+    stats.npn_cache_hits = db.hits();
+    stats.commit_time = commit_time;
+    stats.resynthesis_time = phase_start.elapsed().saturating_sub(commit_time);
     (cn, stats)
 }
 
@@ -367,6 +997,30 @@ mod tests {
             carry = c;
         }
         let any = n.or_reduce(&sums);
+        n.add_output(any);
+        n.add_output(carry);
+        n
+    }
+
+    /// A wider network that clears `PLAN_MIN_BATCH`, so the threaded
+    /// schedule genuinely runs.
+    fn wide_network() -> Network {
+        let mut n = Network::with_name(NetworkKind::Aig, "wide");
+        let a = n.add_inputs(8);
+        let b = n.add_inputs(8);
+        let mut carry = n.constant(false);
+        let mut bits = Vec::new();
+        for i in 0..8 {
+            let (s, c) = n.full_adder(a[i], b[i], carry);
+            bits.push(s);
+            carry = c;
+        }
+        for i in 0..8 {
+            let x = n.xor(bits[i], a[(i + 3) % 8]);
+            let y = n.and(x, b[(i + 5) % 8]);
+            bits.push(y);
+        }
+        let any = n.or_reduce(&bits);
         n.add_output(any);
         n.add_output(carry);
         n
@@ -428,7 +1082,118 @@ mod tests {
             level_choices: 3,
             area_choices: 4,
             critical_nodes: 7,
+            ..MchStats::default()
         };
         assert_eq!(s.total(), 9);
+    }
+
+    #[test]
+    fn timeless_drops_only_the_wall_times() {
+        let s = MchStats {
+            representation_choices: 1,
+            npn_classes: 5,
+            npn_cache_hits: 9,
+            one_to_one_time: Duration::from_millis(3),
+            resynthesis_time: Duration::from_millis(5),
+            ..MchStats::default()
+        };
+        let t = s.timeless();
+        assert_eq!(t.representation_choices, 1);
+        assert_eq!(t.npn_classes, 5);
+        assert_eq!(t.npn_cache_hits, 9);
+        assert_eq!(t.one_to_one_time, Duration::ZERO);
+        assert_eq!(t.resynthesis_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn threaded_construction_is_identical_to_serial() {
+        // The wide network clears PLAN_MIN_BATCH, so threads > 1 genuinely
+        // runs the plan/commit schedule; every thread count must produce the
+        // same choice network and the same deterministic statistics.
+        let net = wide_network();
+        for base in [
+            MchParams::balanced(),
+            MchParams::delay_oriented(),
+            MchParams::area_oriented(),
+        ] {
+            let (serial_cn, serial_stats) =
+                build_mch_with_stats(&net, &base.clone().with_threads(1));
+            assert!(
+                net.gate_count() >= PLAN_MIN_BATCH,
+                "test network too small to exercise the threaded path"
+            );
+            for threads in [2, 4, 8] {
+                let (cn, stats) =
+                    build_mch_with_stats(&net, &base.clone().with_threads(threads));
+                assert_eq!(serial_cn, cn, "{threads} threads diverged");
+                assert_eq!(
+                    serial_stats.timeless(),
+                    stats.timeless(),
+                    "{threads}-thread stats diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cone_scratch_matches_map_based_reference() {
+        // Dense scratch evaluation vs the original HashMap-based evaluation,
+        // over every MFFC the construction would look at.
+        fn cone_function_reference(
+            network: &Network,
+            cone: &[NodeId],
+            root: NodeId,
+            leaves: &[NodeId],
+        ) -> Option<TruthTable> {
+            if leaves.len() > 8 || leaves.is_empty() {
+                return None;
+            }
+            let n = leaves.len();
+            let mut values: std::collections::HashMap<NodeId, TruthTable> =
+                std::collections::HashMap::new();
+            for (i, &l) in leaves.iter().enumerate() {
+                values.insert(l, TruthTable::var(n, i));
+            }
+            values.insert(NodeId::CONST0, TruthTable::zeros(n));
+            let mut sorted: Vec<NodeId> = cone.to_vec();
+            sorted.sort();
+            for id in sorted {
+                if values.contains_key(&id) {
+                    continue;
+                }
+                let node = network.node(id);
+                let mut fs = Vec::with_capacity(3);
+                for s in node.fanins() {
+                    let base = values.get(&s.node())?;
+                    fs.push(if s.is_complement() { base.not() } else { base.clone() });
+                }
+                let t = match node.kind() {
+                    GateKind::And2 => fs[0].and(&fs[1]),
+                    GateKind::Xor2 => fs[0].xor(&fs[1]),
+                    GateKind::Maj3 => TruthTable::maj(&fs[0], &fs[1], &fs[2]),
+                    _ => return None,
+                };
+                values.insert(id, t);
+            }
+            values.get(&root).cloned()
+        }
+
+        for net in [sample_network(), wide_network()] {
+            let mut scratch = ConeScratch::new(net.len());
+            let mut checked = 0usize;
+            for id in net.gate_ids() {
+                let cone = mffc(&net, id, 8);
+                if cone.size() < 2 || cone.leaves.is_empty() {
+                    continue;
+                }
+                let mut leaves = cone.leaves.clone();
+                leaves.sort();
+                let fast = scratch.cone_function(&net, &cone.nodes, id, &leaves);
+                let slow = cone_function_reference(&net, &cone.nodes, id, &leaves);
+                assert_eq!(fast, slow, "cone of {id} diverged");
+                checked += usize::from(fast.is_some());
+            }
+            assert!(checked > 0, "no cone was actually evaluated");
+        }
     }
 }

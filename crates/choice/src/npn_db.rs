@@ -6,15 +6,104 @@
 //! occurrence with the appropriate input permutation and polarities. This
 //! database generalises that idea to every (strategy, representation) pair the
 //! MCH construction uses.
+//!
+//! # Plan/commit split
+//!
+//! Emission is split into a read-only **plan** half and a mutating **commit**
+//! half so the parallel MCH construction can run the expensive part on worker
+//! threads:
+//!
+//! * [`NpnDatabase::plan`] canonicalises the function and synthesises the
+//!   class representative if neither the shared database (read through
+//!   `&self`) nor the worker-local [`NpnPlanCache`] has it — no shared state
+//!   is touched;
+//! * [`NpnDatabase::commit`] replays a plan into the target network on the
+//!   coordinating thread, merging worker-local misses into the shared cache.
+//!   Because plans are committed in node-id order and
+//!   [`synthesize`] is a pure function of the class key, the database
+//!   contents and its hit/miss statistics end up identical to a serial run,
+//!   whatever the thread count.
+//!
+//! [`NpnDatabase::emit`] is the fused serial form: plan immediately followed
+//! by commit.
 
 use crate::strategies::{import_subnetwork, synthesize, SynthesisStrategy};
-use mch_logic::{npn_canonical, npn_semi_canonical, Network, NetworkKind, Signal, TruthTable};
+use mch_logic::{
+    npn_canonical, npn_semi_canonical, Network, NetworkKind, NpnCanonical, Signal, TruthTable,
+};
 use std::collections::HashMap;
+
+/// The key of one cached candidate structure: the NPN class representative
+/// plus the strategy and representation it was synthesised with.
+type ClassKey = (TruthTable, SynthesisStrategy, NetworkKind);
+
+/// Worker-local spill-over cache used while planning: classes that were
+/// missing from the shared [`NpnDatabase`] at plan time, synthesised on the
+/// worker and shipped with the plan for the coordinator to merge at commit.
+///
+/// One scratch cache per worker; it persists across planned nodes so a worker
+/// synthesises each class at most once even before the shared database has
+/// been warmed by a commit.
+#[derive(Clone, Debug, Default)]
+pub struct NpnPlanCache {
+    synthesized: HashMap<ClassKey, Network>,
+}
+
+impl NpnPlanCache {
+    /// Creates an empty plan cache.
+    pub fn new() -> Self {
+        NpnPlanCache::default()
+    }
+
+    /// Number of classes this worker synthesised locally.
+    pub fn len(&self) -> usize {
+        self.synthesized.len()
+    }
+
+    /// Returns `true` if no class has been synthesised locally.
+    pub fn is_empty(&self) -> bool {
+        self.synthesized.is_empty()
+    }
+}
+
+/// A planned candidate emission: canonicalisation done, class representative
+/// available, leaves already permuted and complemented per the NPN transform.
+/// Produced by [`NpnDatabase::plan`] on any thread; replayed into a network
+/// by [`NpnDatabase::commit`] on the coordinating thread.
+#[derive(Clone, Debug)]
+pub struct NpnPlan {
+    kind: PlanKind,
+}
+
+#[derive(Clone, Debug)]
+enum PlanKind {
+    /// Degenerate constant function — no gates, no cache traffic.
+    Constant(Signal),
+    /// A planned class replay (boxed: the class payload dwarfs the constant
+    /// variant).
+    Class(Box<PlanClass>),
+}
+
+#[derive(Clone, Debug)]
+struct PlanClass {
+    key: ClassKey,
+    /// The synthesised class network when the planning thread had to build
+    /// it (first local encounter of a class the shared database did not
+    /// hold). `None` when either cache already had it; the commit
+    /// re-synthesises on demand in the (rare) case the shared database
+    /// still lacks the class — the result is identical either way because
+    /// [`synthesize`] is pure.
+    synthesized: Option<Network>,
+    /// `leaves[perm[i]] ^ neg_i` — the signal driving canonical input `i`.
+    bound: Vec<Signal>,
+    /// Whether the canonical output is complemented w.r.t. the function.
+    output_neg: bool,
+}
 
 /// Cache of synthesised canonical structures keyed by NPN class.
 #[derive(Clone, Debug, Default)]
 pub struct NpnDatabase {
-    cache: HashMap<(TruthTable, SynthesisStrategy, NetworkKind), Network>,
+    cache: HashMap<ClassKey, Network>,
     hits: usize,
     misses: usize,
 }
@@ -45,9 +134,131 @@ impl NpnDatabase {
         self.cache.is_empty()
     }
 
+    /// The NPN canonical form the database keys by: exact canonicalisation up
+    /// to five variables, the cheaper semi-canonical form above.
+    ///
+    /// Exposed so callers planning several emissions of the *same* function
+    /// (one per strategy entry) can canonicalise once and reuse the result
+    /// through [`plan_with_canon`](NpnDatabase::plan_with_canon).
+    pub fn canonicalize(function: &TruthTable) -> NpnCanonical {
+        if function.num_vars() <= 5 {
+            npn_canonical(function)
+        } else {
+            npn_semi_canonical(function)
+        }
+    }
+
+    /// Plans the emission of `function` over `leaves` without touching the
+    /// database: canonicalise, then synthesise the class representative
+    /// unless the shared database (`&self`) or the worker-local `scratch`
+    /// already holds it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves.len() != function.num_vars()`.
+    pub fn plan(
+        &self,
+        function: &TruthTable,
+        leaves: &[Signal],
+        kind: NetworkKind,
+        strategy: SynthesisStrategy,
+        scratch: &mut NpnPlanCache,
+    ) -> NpnPlan {
+        assert_eq!(leaves.len(), function.num_vars(), "one leaf per variable");
+        // Degenerate cases never go through the cache.
+        if function.is_const0() {
+            return NpnPlan {
+                kind: PlanKind::Constant(Signal::CONST0),
+            };
+        }
+        if function.is_const1() {
+            return NpnPlan {
+                kind: PlanKind::Constant(Signal::CONST1),
+            };
+        }
+        let canon = Self::canonicalize(function);
+        self.plan_with_canon(&canon, leaves, kind, strategy, scratch)
+    }
+
+    /// Like [`plan`](NpnDatabase::plan) but over a pre-computed canonical
+    /// form, so one canonicalisation can serve several (strategy, kind)
+    /// entries. The caller must have filtered out constant functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves.len()` differs from the canonical form's variable
+    /// count.
+    pub fn plan_with_canon(
+        &self,
+        canon: &NpnCanonical,
+        leaves: &[Signal],
+        kind: NetworkKind,
+        strategy: SynthesisStrategy,
+        scratch: &mut NpnPlanCache,
+    ) -> NpnPlan {
+        let t = &canon.transform;
+        assert_eq!(leaves.len(), t.perm.len(), "one leaf per variable");
+        let key = (canon.representative.clone(), strategy, kind);
+        let synthesized = if self.cache.contains_key(&key)
+            || scratch.synthesized.contains_key(&key)
+        {
+            None
+        } else {
+            let net = synthesize(&canon.representative, kind, strategy);
+            scratch.synthesized.insert(key.clone(), net.clone());
+            Some(net)
+        };
+        // canonical(y) = f(x) ^ out  with  y_i = x_{perm[i]} ^ neg_i, therefore
+        // f(x) = canonical(y) ^ out when canonical input i is driven by
+        // leaves[perm[i]] ^ neg_i.
+        let bound: Vec<Signal> = (0..leaves.len())
+            .map(|i| leaves[t.perm[i]].xor_complement(t.input_neg & (1 << i) != 0))
+            .collect();
+        NpnPlan {
+            kind: PlanKind::Class(Box::new(PlanClass {
+                key,
+                synthesized,
+                bound,
+                output_neg: t.output_neg,
+            })),
+        }
+    }
+
+    /// Replays a plan into `target`, merging a worker-synthesised class into
+    /// the shared cache when the database does not hold it yet, and returns
+    /// the candidate's output signal.
+    ///
+    /// Hit/miss statistics are counted here — in commit order — so a
+    /// parallel plan phase followed by id-ordered commits reports exactly
+    /// the numbers a serial run would.
+    pub fn commit(&mut self, target: &mut Network, plan: NpnPlan) -> Signal {
+        match plan.kind {
+            PlanKind::Constant(sig) => sig,
+            PlanKind::Class(class) => {
+                let PlanClass {
+                    key,
+                    synthesized,
+                    bound,
+                    output_neg,
+                } = *class;
+                if !self.cache.contains_key(&key) {
+                    let net = synthesized.unwrap_or_else(|| synthesize(&key.0, key.2, key.1));
+                    self.cache.insert(key.clone(), net);
+                    self.misses += 1;
+                } else {
+                    self.hits += 1;
+                }
+                let canonical_net = self.cache.get(&key).expect("class just ensured");
+                let out = import_subnetwork(target, canonical_net, &bound);
+                out.xor_complement(output_neg)
+            }
+        }
+    }
+
     /// Emits a candidate structure computing `function` over `leaves` into
     /// `target`, synthesising the function's NPN class representative on first
-    /// use and replaying it afterwards.
+    /// use and replaying it afterwards — the fused serial form of
+    /// [`plan`](NpnDatabase::plan) + [`commit`](NpnDatabase::commit).
     ///
     /// Returns the candidate's output signal in `target`.
     ///
@@ -62,38 +273,9 @@ impl NpnDatabase {
         kind: NetworkKind,
         strategy: SynthesisStrategy,
     ) -> Signal {
-        assert_eq!(leaves.len(), function.num_vars(), "one leaf per variable");
-        // Degenerate cases never go through the cache.
-        if function.is_const0() {
-            return Signal::CONST0;
-        }
-        if function.is_const1() {
-            return Signal::CONST1;
-        }
-        let canon = if function.num_vars() <= 5 {
-            npn_canonical(function)
-        } else {
-            npn_semi_canonical(function)
-        };
-        let key = (canon.representative.clone(), strategy, kind);
-        if !self.cache.contains_key(&key) {
-            let net = synthesize(&canon.representative, kind, strategy);
-            self.cache.insert(key.clone(), net);
-            self.misses += 1;
-        } else {
-            self.hits += 1;
-        }
-        let canonical_net = self.cache.get(&key).expect("just inserted").clone();
-
-        // canonical(y) = f(x) ^ out  with  y_i = x_{perm[i]} ^ neg_i, therefore
-        // f(x) = canonical(y) ^ out when canonical input i is driven by
-        // leaves[perm[i]] ^ neg_i.
-        let t = &canon.transform;
-        let bound: Vec<Signal> = (0..function.num_vars())
-            .map(|i| leaves[t.perm[i]].xor_complement(t.input_neg & (1 << i) != 0))
-            .collect();
-        let out = import_subnetwork(target, &canonical_net, &bound);
-        out.xor_complement(t.output_neg)
+        let mut scratch = NpnPlanCache::new();
+        let plan = self.plan(function, leaves, kind, strategy, &mut scratch);
+        self.commit(target, plan)
     }
 }
 
@@ -211,5 +393,88 @@ mod tests {
         );
         assert!(s.is_const1());
         assert!(db.is_empty());
+    }
+
+    #[test]
+    fn planned_and_fused_emission_build_identical_networks() {
+        // Plan everything up front against a cold shared database (the
+        // threaded schedule), commit in order, and compare against the fused
+        // serial emit sequence: networks, signals and hit/miss statistics
+        // must be identical.
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        let funcs = [
+            a.and(&b).or(&c),
+            a.xor(&b).and(&c),
+            a.and(&b).or(&c), // repeat: second encounter must be a hit
+            TruthTable::maj(&a, &b, &c).not(),
+        ];
+
+        let mut serial_db = NpnDatabase::new();
+        let mut serial_host = Network::new(NetworkKind::Mixed);
+        let leaves = serial_host.add_inputs(3);
+        let serial_sigs: Vec<Signal> = funcs
+            .iter()
+            .map(|f| {
+                serial_db.emit(
+                    &mut serial_host,
+                    f,
+                    &leaves,
+                    NetworkKind::Xag,
+                    SynthesisStrategy::Decompose,
+                )
+            })
+            .collect();
+
+        let mut planned_db = NpnDatabase::new();
+        let mut planned_host = Network::new(NetworkKind::Mixed);
+        let leaves2 = planned_host.add_inputs(3);
+        // Two independent "workers" with their own scratch caches, planning
+        // interleaved halves — both synthesise the repeated class locally.
+        let mut scratch_a = NpnPlanCache::new();
+        let mut scratch_b = NpnPlanCache::new();
+        let plans: Vec<NpnPlan> = funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let scratch = if i % 2 == 0 { &mut scratch_a } else { &mut scratch_b };
+                planned_db.plan(f, &leaves2, NetworkKind::Xag, SynthesisStrategy::Decompose, scratch)
+            })
+            .collect();
+        let planned_sigs: Vec<Signal> = plans
+            .into_iter()
+            .map(|p| planned_db.commit(&mut planned_host, p))
+            .collect();
+
+        assert_eq!(serial_sigs, planned_sigs);
+        assert_eq!(serial_host, planned_host);
+        assert_eq!(serial_db.hits(), planned_db.hits());
+        assert_eq!(serial_db.misses(), planned_db.misses());
+        assert_eq!(serial_db.len(), planned_db.len());
+        assert!(!scratch_a.is_empty() || !scratch_b.is_empty());
+    }
+
+    #[test]
+    fn commit_resynthesises_when_a_plan_ships_no_network() {
+        // A plan whose class came from the worker-local scratch ships no
+        // network; committing it against a database that never saw the class
+        // must fall back to a fresh synthesis and still be correct.
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let f = a.and(&b);
+        let db_for_planning = NpnDatabase::new();
+        let mut scratch = NpnPlanCache::new();
+        let mut host = Network::new(NetworkKind::Mixed);
+        let xs = host.add_inputs(2);
+        // First plan populates the scratch; second plan ships None.
+        let _first = db_for_planning.plan(&f, &xs, NetworkKind::Aig, SynthesisStrategy::Decompose, &mut scratch);
+        let second = db_for_planning.plan(&f, &xs, NetworkKind::Aig, SynthesisStrategy::Decompose, &mut scratch);
+        // Commit `second` into a *fresh* database: the class is nowhere.
+        let mut fresh = NpnDatabase::new();
+        let out = fresh.commit(&mut host, second);
+        host.add_output(out);
+        assert_eq!(output_truth_tables(&host)[0], f);
+        assert_eq!(fresh.misses(), 1);
     }
 }

@@ -22,6 +22,10 @@ pub struct MchConfig {
     /// objective; override it to study the ranking in isolation.
     pub cut_ranking: CutCost,
     /// Parameters of the MCH construction (Algorithm 1).
+    ///
+    /// Flows ignore `mch.threads` and substitute [`threads`](MchConfig::threads)
+    /// before building choices; it only matters when this field is passed to
+    /// [`mch_choice::build_mch`] directly.
     pub mch: MchParams,
     /// Rounds of the `compress2rs`-like pre-optimization applied before
     /// building choices (the paper prepares Table-I inputs the same way).
@@ -39,11 +43,18 @@ pub struct MchConfig {
     /// area-flow rounds. Off in every preset: it changes covers, and the
     /// preset quality numbers are pinned.
     pub exact_area: bool,
-    /// Worker threads handed to the mapper for level-parallel cut enumeration
-    /// and choice transfer (see [`mch_cut::enumerate_cuts_threaded`]). `1`
-    /// runs fully serial; every value produces identical mapping results.
-    /// The presets default to [`mch_cut::default_threads`] (the host's core
-    /// count, overridable through the `MCH_THREADS` environment variable).
+    /// Worker threads used throughout the flow: choice construction
+    /// (cut enumeration plus recipe planning, see [`MchParams::threads`]),
+    /// snapshot graph-mapping, and the mapper's level-parallel cut
+    /// enumeration and choice transfer (see
+    /// [`mch_cut::enumerate_cuts_threaded`]). `1` runs fully serial; every
+    /// value produces identical mapping results. The presets default to
+    /// [`mch_cut::default_threads`] (the host's core count, overridable
+    /// through the `MCH_THREADS` environment variable). This field is
+    /// authoritative: flows copy it over [`MchParams::threads`] before
+    /// building choices, so setting it (directly or via
+    /// [`with_threads`](MchConfig::with_threads), which also syncs
+    /// `mch.threads` for direct `build_mch` use) controls every phase.
     pub threads: usize,
 }
 
@@ -94,9 +105,11 @@ impl MchConfig {
     }
 
     /// Returns the same configuration with an explicit worker-thread count
-    /// for the mapper's level-parallel cut enumeration and choice transfer.
+    /// for choice construction, snapshot graph-mapping and the mapper's
+    /// level-parallel cut enumeration and choice transfer.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self.mch.threads = self.threads;
         self
     }
 

@@ -3,7 +3,8 @@
 
 use crate::MchConfig;
 use mch_choice::{add_snapshot_choices, build_mch, dch_from_snapshots, ChoiceNetwork};
-use mch_logic::{cec, Network};
+use mch_cut::WorkerPool;
+use mch_logic::{Network, NetworkKind, cec};
 use mch_mapper::{
     map_asic, map_lut, AsicMapParams, CellNetlist, LutMapParams, LutNetlist, MappingObjective,
 };
@@ -14,16 +15,46 @@ use std::time::Instant;
 /// Builds the mixed choice network for an MCH flow: the per-node candidates of
 /// Algorithm 2, optionally augmented with whole graph-mapped views of the
 /// design (one per secondary representation).
+///
+/// The snapshot views are independent reads of the input network, so they are
+/// computed concurrently on the process-wide [`WorkerPool`] (one inline on
+/// the calling thread, the rest as pool jobs) and committed in a fixed order
+/// — the result is identical for every `config.threads` value. Each
+/// graph-mapping job runs its internal enumeration serially (the pool's
+/// recursion guard), so the pool is never deadlocked by nested phases.
 fn build_flow_choices(network: &Network, config: &MchConfig) -> ChoiceNetwork {
-    let mut choices = build_mch(network, &config.mch);
+    // `config.threads` is authoritative for the whole flow.
+    let mut mch_params = config.mch.clone();
+    mch_params.threads = config.threads;
+    let mut choices = build_mch(network, &mch_params);
     if config.mix_optimized_snapshots {
         // A restructured view in the input's own representation (this is still
-        // "based solely on the input AIG" for the balanced flow)…
-        let own_view = graph_map(network, network.kind(), config.objective);
-        add_snapshot_choices(&mut choices, &own_view);
-        // …plus one graph-mapped view per secondary representation.
-        for &kind in &config.mch.secondary {
-            let view = graph_map(network, kind, config.objective);
+        // "based solely on the input AIG" for the balanced flow), plus one
+        // graph-mapped view per secondary representation.
+        let kinds: Vec<NetworkKind> = std::iter::once(network.kind())
+            .chain(config.mch.secondary.iter().copied())
+            .collect();
+        let mut views: Vec<Option<Network>> = kinds.iter().map(|_| None).collect();
+        if config.threads > 1 && kinds.len() > 1 && !WorkerPool::is_worker() {
+            let (first, rest) = views.split_at_mut(1);
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = rest
+                .iter_mut()
+                .zip(&kinds[1..])
+                .map(|(slot, &kind)| {
+                    Box::new(move || {
+                        *slot = Some(graph_map(network, kind, config.objective));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            WorkerPool::global().run_with(jobs, || {
+                first[0] = Some(graph_map(network, kinds[0], config.objective));
+            });
+        } else {
+            for (slot, &kind) in views.iter_mut().zip(&kinds) {
+                *slot = Some(graph_map(network, kind, config.objective));
+            }
+        }
+        for view in views.into_iter().flatten() {
             add_snapshot_choices(&mut choices, &view);
         }
     }

@@ -223,6 +223,34 @@ impl NetworkCuts {
         self.wasted
     }
 
+    /// Rebuilds the arena densely in node-index order, reclaiming every slot
+    /// abandoned by [`commit_extension`](NetworkCuts::commit_extension) and
+    /// resetting [`wasted_slots`](NetworkCuts::wasted_slots) to zero.
+    ///
+    /// Only the internal layout changes: every node's
+    /// [`of`](NetworkCuts::of) slice — leaves, functions, ranking and costs —
+    /// is byte-identical before and after. Returns the number of slots
+    /// reclaimed (zero when the arena is already dense, in which case nothing
+    /// is copied). Worth calling after a choice transfer on very
+    /// choice-heavy, memory-bound runs; plain enumeration never needs it.
+    pub fn compact(&mut self) -> usize {
+        let live: usize = self.spans.iter().map(|&(_, len)| len as usize).sum();
+        let reclaimed = self.arena.len() - live;
+        if reclaimed == 0 {
+            self.wasted = 0;
+            return 0;
+        }
+        let mut arena: Vec<Cut> = Vec::with_capacity(live);
+        for span in &mut self.spans {
+            let (start, len) = *span;
+            *span = (arena.len() as u32, len);
+            arena.extend_from_slice(&self.arena[start as usize..(start + len) as usize]);
+        }
+        self.arena = arena;
+        self.wasted = 0;
+        reclaimed
+    }
+
     /// Returns `true` when `self` and `other` are identical down to the
     /// internal representation: same parameters, cost model, arena layout,
     /// spans, per-cut leaves/functions/costs (floats compared bit-for-bit),
@@ -955,6 +983,49 @@ mod tests {
         cuts.extend_node(root, &[single], 16, CutCost::Structural);
         assert_eq!(cuts.of(root).len(), cur + 1);
         assert_eq!(cuts.wasted_slots(), wasted + cur);
+    }
+
+    #[test]
+    fn compact_reclaims_waste_and_preserves_cuts() {
+        let (n, s, _) = adder_bit();
+        let mut cuts = enumerate_cuts(&n, &CutParams::default());
+        // A dense arena compacts to itself without copying.
+        assert_eq!(cuts.compact(), 0);
+
+        // Create waste: shrink one span in place, then grow it past its slot.
+        let root = s.node();
+        let pis: Vec<NodeId> = n.inputs().to_vec();
+        let pi_cut = Cut::with_costs(root, &pis, TruthTable::zeros(3), cuts.leaf_costs(&pis));
+        cuts.extend_node(root, &[pi_cut], cuts.of(root).len() - 2, CutCost::Structural);
+        let single = Cut::with_costs(
+            root,
+            &pis[..1],
+            TruthTable::var(1, 0),
+            cuts.leaf_costs(&pis[..1]),
+        );
+        cuts.extend_node(root, &[single], 16, CutCost::Structural);
+        let wasted = cuts.wasted_slots();
+        assert!(wasted > 0, "the extensions must leave abandoned slots");
+
+        // Snapshot every node's observable cut list, compact, compare.
+        let before: Vec<Vec<Cut>> = (0..n.len())
+            .map(|i| cuts.of(NodeId::from_index(i)).to_vec())
+            .collect();
+        let arena_before = cuts.total_cuts() + wasted;
+        assert_eq!(cuts.compact(), wasted);
+        assert_eq!(cuts.wasted_slots(), 0);
+        assert_eq!(cuts.total_cuts() + wasted, arena_before);
+        for (i, old) in before.iter().enumerate() {
+            let new = cuts.of(NodeId::from_index(i));
+            assert_eq!(old.len(), new.len(), "node {i} changed cut count");
+            for (a, b) in old.iter().zip(new) {
+                assert_eq!(a, b, "node {i} changed a cut");
+                assert_eq!(a.costs().arrival, b.costs().arrival);
+                assert_eq!(a.costs().flow.to_bits(), b.costs().flow.to_bits());
+            }
+        }
+        // Compacting twice is a no-op.
+        assert_eq!(cuts.compact(), 0);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Level-parallel cut enumeration on a dependency-free scoped worker pool.
+//! Level-parallel cut enumeration and the process-wide worker pool behind it.
 //!
 //! Priority-cut enumeration is embarrassingly parallel *within* a topological
 //! level: a gate's cut set depends only on its fanins' cut sets, and every
@@ -6,16 +6,23 @@
 //! structure:
 //!
 //! 1. [`mch_logic::levelize`] groups the gates by level;
-//! 2. a small worker pool — plain [`std::thread::scope`] threads, no external
-//!    dependencies — is spawned once and fed one level at a time through
-//!    [`std::sync::mpsc`] channels ([`level_parallel`] is the generic
-//!    harness);
+//! 2. shard work is executed on the lazily-spawned, process-wide
+//!    [`WorkerPool`] — plain [`std::thread`] workers fed through a shared
+//!    injector queue, no external dependencies — so repeated enumeration
+//!    calls (and the other phases that reuse the pool: choice transfer in
+//!    `mch_mapper`, choice-recipe planning in `mch_choice`, snapshot
+//!    graph-mapping in `mch_core`) pay the thread-spawn cost once per
+//!    process instead of once per call;
 //! 3. each worker runs the same per-node kernel as the serial driver
-//!    (`enumerate_node`) over a contiguous, id-ordered shard of the level,
-//!    with its own `ProtoCut`/`LeafBuf` scratch, reading the already-complete
-//!    lower levels through a shared [`RwLock`];
+//!    (`enumerate_node`) over contiguous, id-ordered shards pulled from a
+//!    per-call task queue, with its own `ProtoCut`/`LeafBuf` scratch, reading
+//!    the already-complete lower levels through a shared [`RwLock`];
 //! 4. the coordinator merges the shards back in chunk order (which is node-id
 //!    order within the level) before releasing the next level.
+//!
+//! [`level_parallel`] is the generic level-synchronized harness; it is public
+//! precisely so other crates can shard their own per-level (or single-batch)
+//! work on the same pool.
 //!
 //! # Determinism
 //!
@@ -33,28 +40,32 @@
 //! `threads = 1` (or a network whose widest level is below the sharding
 //! threshold) selects the serial driver unchanged — no pool, no locks, no
 //! extra allocation. Prefer it for small networks, for latency-sensitive
-//! single-circuit calls where the pool's startup cost (a few thread spawns
-//! plus one channel round-trip per level) is comparable to the enumeration
-//! itself, and when an outer loop already parallelizes across circuits.
+//! single-circuit calls where the per-call coordination cost (one task-queue
+//! round-trip per level) is comparable to the enumeration itself, and when an
+//! outer loop already parallelizes across circuits.
 
 use crate::enumeration::{
     enumerate_node, fanout_estimates, seed_arena, EnumView, NodeScratch,
 };
 use crate::{enumerate_cuts_with_model, Cut, CutCostModel, CutCosts, CutParams, NetworkCuts};
 use mch_logic::{levelize, Network, NodeId};
+use std::cell::Cell;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::{mpsc, RwLock};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, RwLock};
 
 /// Smallest level (or representative batch) worth sharding across the pool;
 /// anything narrower runs inline on the coordinating thread, which keeps
-/// deep, narrow circuits from paying one channel round-trip per tiny level.
+/// deep, narrow circuits from paying one task-queue round-trip per tiny
+/// level.
 pub(crate) const MIN_PARALLEL_LEVEL: usize = 16;
 
-/// Chunks handed out per worker and level when a level is sharded. The
-/// assignment is static (chunk `c` goes to worker `c % threads` up front, no
-/// stealing), but consecutive chunks land on *different* workers, so a
-/// contiguous id region of expensive nodes (wide cross products cluster that
-/// way) is spread across the pool instead of serializing on one worker.
+/// Chunks handed out per worker and level when a level is sharded. Chunks are
+/// pushed to the shared task queue in order and pulled by whichever worker is
+/// free, so a contiguous id region of expensive nodes (wide cross products
+/// cluster that way) is spread across the pool instead of serializing on one
+/// worker.
 const CHUNKS_PER_WORKER: usize = 4;
 
 /// The default worker count for parallel cut enumeration: the `MCH_THREADS`
@@ -72,7 +83,235 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// One unit of work handed to a pool worker: chunk `chunk` of level `level`,
+// ---------------------------------------------------------------------------
+// The process-wide worker pool
+// ---------------------------------------------------------------------------
+
+/// A boxed unit of work queued on the pool (already lifetime-erased; see the
+/// safety comment in [`WorkerPool::run_with`]).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    ready: Condvar,
+}
+
+/// Completion latch shared between one [`WorkerPool::run_with`] call and the
+/// jobs it submitted: counts outstanding jobs and stores the first panic
+/// payload observed on a worker.
+struct RunState {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+thread_local! {
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+static GLOBAL_POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+/// A dependency-free pool of long-lived worker threads fed through a shared
+/// injector queue.
+///
+/// The [`global`](WorkerPool::global) pool is spawned lazily, sized by
+/// [`default_threads`] (read once, at first use), and lives for the rest of
+/// the process — this is the ROADMAP's "process-wide pool": every
+/// level-parallel phase of every flow reuses the same threads instead of
+/// spawning a fresh scope per enumeration call. Dedicated pools from
+/// [`with_workers`](WorkerPool::with_workers) shut their threads down on
+/// drop.
+///
+/// The only execution primitive is [`run_with`](WorkerPool::run_with): borrow
+/// jobs onto the workers while a coordinating closure runs on the calling
+/// thread, with a hard completion barrier before the call returns. Higher
+/// level schedules ([`level_parallel`]) are built on top of it.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns a dedicated pool with `workers` threads (floored at 1). The
+    /// threads exit when the pool is dropped. Prefer
+    /// [`global`](WorkerPool::global) unless you need an isolated pool (e.g.
+    /// in tests).
+    pub fn with_workers(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("mch-pool-{i}"))
+                .spawn(move || worker_main(&shared))
+                .expect("spawn pool worker thread");
+        }
+        WorkerPool { shared, workers }
+    }
+
+    /// The process-wide pool, spawned on first use with
+    /// [`default_threads`] workers. Its threads idle on a condvar between
+    /// phases and are never joined.
+    pub fn global() -> &'static WorkerPool {
+        GLOBAL_POOL.get_or_init(|| WorkerPool::with_workers(default_threads()))
+    }
+
+    /// Number of worker threads in this pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Returns `true` when the calling thread is a pool worker.
+    ///
+    /// Used as a recursion guard: parallel phases invoked *from* a pool
+    /// worker (e.g. a graph-mapping job that internally enumerates cuts) must
+    /// run serially instead of submitting nested jobs and blocking a worker
+    /// on work the exhausted pool can never schedule.
+    pub fn is_worker() -> bool {
+        IS_POOL_WORKER.with(Cell::get)
+    }
+
+    /// Runs `main` on the calling thread while `jobs` run on the pool
+    /// workers; returns only after `main` *and every job* completed.
+    ///
+    /// Jobs may borrow data from the caller's stack (anything outliving the
+    /// `run_with` call): the completion barrier guarantees the borrows end
+    /// before the call returns, even when `main` or a job panics. A panic in
+    /// `main` is re-raised after the barrier; otherwise the first job panic
+    /// is re-raised, with its original payload.
+    ///
+    /// Jobs must not block waiting for `main` to make progress after `main`
+    /// unwinds — a coordinating `main` that feeds jobs through a queue must
+    /// close that queue on unwind (see the close-on-drop guard in
+    /// [`level_parallel`]). When called *from* a pool worker everything runs
+    /// inline on the calling thread (jobs first, then `main`) to keep an
+    /// exhausted pool from deadlocking on nested phases.
+    pub fn run_with<'env>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() + Send + 'env>>,
+        main: impl FnOnce(),
+    ) {
+        if jobs.is_empty() {
+            main();
+            return;
+        }
+        if Self::is_worker() {
+            let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for job in jobs {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+            let main_result = catch_unwind(AssertUnwindSafe(main));
+            if let Err(payload) = main_result {
+                resume_unwind(payload);
+            }
+            if let Some(payload) = first_panic {
+                resume_unwind(payload);
+            }
+            return;
+        }
+        let state = Arc::new(RunState {
+            remaining: Mutex::new(jobs.len()),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            for job in jobs {
+                let state = Arc::clone(&state);
+                let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                        let mut slot = state.panic.lock().expect("panic slot poisoned");
+                        slot.get_or_insert(payload);
+                    }
+                    let mut remaining = state.remaining.lock().expect("run latch poisoned");
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        state.done.notify_all();
+                    }
+                });
+                // SAFETY: the job borrows data living at least `'env` (the
+                // duration of this call). The barrier below waits for every
+                // job to finish — on the success path and on every unwind
+                // path — before `run_with` returns, so the erased borrows
+                // can never outlive the data they point into. The wrapper
+                // catches job panics, so a worker always reaches the latch
+                // decrement.
+                let wrapped: Job = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(wrapped)
+                };
+                queue.jobs.push_back(wrapped);
+            }
+            self.shared.ready.notify_all();
+        }
+        let main_result = catch_unwind(AssertUnwindSafe(main));
+        let mut remaining = state.remaining.lock().expect("run latch poisoned");
+        while *remaining > 0 {
+            remaining = state.done.wait(remaining).expect("run latch poisoned");
+        }
+        drop(remaining);
+        if let Err(payload) = main_result {
+            resume_unwind(payload);
+        }
+        let job_panic = state.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = job_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Every `run_with` waits for its jobs, so the queue is empty here;
+        // raising the flag wakes the idle workers and they exit.
+        if let Ok(mut queue) = self.shared.queue.lock() {
+            queue.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+    }
+}
+
+fn worker_main(shared: &PoolShared) {
+    IS_POOL_WORKER.with(|flag| flag.set(true));
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break Some(job);
+                }
+                if queue.shutdown {
+                    break None;
+                }
+                queue = shared.ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        match job {
+            // Submitted jobs are panic-wrapped by `run_with`, so this call
+            // cannot unwind and the worker survives any job.
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The level-synchronized harness
+// ---------------------------------------------------------------------------
+
+/// One unit of work pulled by a pool worker: chunk `chunk` of level `level`,
 /// covering `items[start..end]` of that level's slice.
 struct Task {
     chunk: usize,
@@ -81,14 +320,80 @@ struct Task {
     end: usize,
 }
 
+/// A closeable FIFO feeding level shards to the worker loops of one
+/// [`level_parallel`] call. Shared pulling (instead of a static worker →
+/// chunk assignment) keeps every schedule deadlock-free even when the pool
+/// has fewer free workers than the requested thread count: whichever loops
+/// actually run drain all tasks.
+struct TaskQueue {
+    state: Mutex<TaskQueueState>,
+    ready: Condvar,
+}
+
+struct TaskQueueState {
+    tasks: VecDeque<Task>,
+    closed: bool,
+}
+
+impl TaskQueue {
+    fn new() -> TaskQueue {
+        TaskQueue {
+            state: Mutex::new(TaskQueueState {
+                tasks: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push_all(&self, tasks: impl Iterator<Item = Task>) {
+        let mut state = self.state.lock().expect("task queue poisoned");
+        state.tasks.extend(tasks);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until a task is available or the queue is closed. A closed
+    /// queue returns `None` immediately, discarding any leftover tasks (which
+    /// only exist when the coordinator unwound mid-level).
+    fn pop(&self) -> Option<Task> {
+        let mut state = self.state.lock().expect("task queue poisoned");
+        loop {
+            if state.closed {
+                return None;
+            }
+            if let Some(task) = state.tasks.pop_front() {
+                return Some(task);
+            }
+            state = self.ready.wait(state).expect("task queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("task queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Closes the task queue when dropped, releasing the worker loops — on the
+/// normal path after the last level, and on the unwind path when the
+/// coordinator re-raises a forwarded worker panic.
+struct CloseOnDrop<'a>(&'a TaskQueue);
+
+impl Drop for CloseOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
 /// Runs `work` over every item of every level, levels strictly in order,
-/// items of one level sharded across a scoped worker pool of `threads`
-/// threads — the level-synchronized harness behind
-/// [`enumerate_cuts_threaded`] and the choice-transfer sharding in
-/// `mch_mapper`.
+/// items of one level sharded across `threads` worker loops scheduled on the
+/// process-wide [`WorkerPool`] — the level-synchronized harness behind
+/// [`enumerate_cuts_threaded`], the choice transfer in `mch_mapper` and the
+/// choice-recipe planning in `mch_choice`. A single flat batch is simply one
+/// level (`&[items]`).
 ///
-/// * `init` builds one per-worker scratch value (called once per worker, plus
-///   once on the coordinator for inline levels);
+/// * `init` builds one per-worker scratch value (called once per worker loop,
+///   plus once on the coordinator for inline levels);
 /// * `work` maps a contiguous, order-preserving shard of a level to one
 ///   result (it runs concurrently with other shards of the *same* level, so
 ///   it must only read state written by earlier levels — wrap shared state in
@@ -97,10 +402,11 @@ struct Task {
 ///   preserves item order) after all of that level's shards finished, and is
 ///   the only place that may write shared state.
 ///
-/// Levels shorter than `min_shard` — and everything, when `threads <= 1` or
-/// no level reaches `min_shard` — run inline on the coordinating thread in
-/// the very same order, so the observable commit sequence is independent of
-/// the thread count. Empty levels are skipped.
+/// Levels shorter than `min_shard` — and everything, when `threads <= 1`, no
+/// level reaches `min_shard`, or the caller already *is* a pool worker (see
+/// [`WorkerPool::is_worker`]) — run inline on the coordinating thread in the
+/// very same order, so the observable commit sequence is independent of the
+/// thread count. Empty levels are skipped.
 ///
 /// # Panics
 ///
@@ -120,7 +426,7 @@ pub fn level_parallel<T, S, R>(
 {
     let min_shard = min_shard.max(2);
     let widest = levels.iter().map(Vec::len).max().unwrap_or(0);
-    if threads <= 1 || widest < min_shard {
+    if threads <= 1 || widest < min_shard || WorkerPool::is_worker() {
         let mut scratch = init();
         for level in levels {
             if level.is_empty() {
@@ -134,33 +440,33 @@ pub fn level_parallel<T, S, R>(
 
     let init = &init;
     let work = &work;
-    std::thread::scope(|scope| {
-        // Results travel as `thread::Result` so a panicking worker reports
-        // its payload through the channel instead of leaving the coordinator
-        // blocked until the timeout; the coordinator resumes the panic with
-        // its original payload immediately.
-        let (result_tx, result_rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
-        let mut task_txs: Vec<mpsc::Sender<Task>> = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let (tx, rx) = mpsc::channel::<Task>();
-            task_txs.push(tx);
+    let queue = TaskQueue::new();
+    let queue = &queue;
+    // Results travel as `thread::Result` so a panicking worker reports its
+    // payload through the channel instead of leaving the coordinator blocked;
+    // the coordinator resumes the panic with its original payload.
+    let (result_tx, result_rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..threads)
+        .map(|_| {
             let result_tx = result_tx.clone();
-            scope.spawn(move || {
+            Box::new(move || {
                 let mut scratch = init();
-                while let Ok(task) = rx.recv() {
+                while let Some(task) = queue.pop() {
                     let shard = &levels[task.level][task.start..task.end];
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || work(&mut scratch, shard),
-                    ));
+                    let result =
+                        catch_unwind(AssertUnwindSafe(|| work(&mut scratch, shard)));
                     let died = result.is_err();
                     if result_tx.send((task.chunk, result)).is_err() || died {
                         break;
                     }
                 }
-            });
-        }
-        drop(result_tx);
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    drop(result_tx);
 
+    WorkerPool::global().run_with(jobs, move || {
+        let _close = CloseOnDrop(queue);
         // The coordinator's own scratch, for levels too narrow to shard.
         let mut inline_scratch: Option<S> = None;
         for (level_index, level) in levels.iter().enumerate() {
@@ -178,37 +484,30 @@ pub fn level_parallel<T, S, R>(
                 .div_ceil(threads * CHUNKS_PER_WORKER)
                 .max(min_shard / 2);
             let chunk_count = level.len().div_ceil(chunk_size);
-            for chunk in 0..chunk_count {
+            queue.push_all((0..chunk_count).map(|chunk| {
                 let start = chunk * chunk_size;
-                let end = (start + chunk_size).min(level.len());
-                let task = Task {
+                Task {
                     chunk,
                     level: level_index,
                     start,
-                    end,
-                };
-                if task_txs[chunk % threads].send(task).is_err() {
-                    // A worker only hangs up after forwarding a panic; its
-                    // payload is already queued on the result channel (the
-                    // send happens before the hangup) — find and re-raise it
-                    // rather than masking it with a generic message.
-                    raise_forwarded_panic(&result_rx);
+                    end: (start + chunk_size).min(level.len()),
                 }
-            }
+            }));
             let mut results: Vec<Option<R>> = (0..chunk_count).map(|_| None).collect();
             for _ in 0..chunk_count {
                 // Plain blocking recv: a worker cannot vanish silently — a
-                // panic inside `work` is caught and forwarded, and if every
-                // worker somehow exited, all senders drop and recv errors.
+                // panic inside `work` is caught and forwarded (buffered
+                // payloads are delivered before a disconnect error), and if
+                // every loop somehow exited, all senders drop and recv errors.
                 let (chunk, result) = result_rx
                     .recv()
                     .expect("every pool worker exited without reporting a shard");
                 match result {
                     Ok(r) => results[chunk] = Some(r),
                     // Re-raise the worker's panic on the coordinator with its
-                    // original payload (the scope would otherwise surface it
-                    // only at join).
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    // original payload; the close-on-drop guard releases the
+                    // remaining worker loops.
+                    Err(payload) => resume_unwind(payload),
                 }
             }
             commit(
@@ -218,24 +517,14 @@ pub fn level_parallel<T, S, R>(
                     .collect(),
             );
         }
-        // Closing the task channels lets the workers drain and exit before
-        // the scope joins them.
-        drop(task_txs);
+        // `_close` drops here, closing the task queue so the worker loops
+        // drain and exit before `run_with`'s completion barrier.
     });
 }
 
-/// Scans the result channel for a forwarded worker panic and re-raises it
-/// with its original payload; called when a task send fails, which can only
-/// happen after a worker panicked and hung up. Panics with a generic message
-/// if no payload is found (should be unreachable).
-fn raise_forwarded_panic<R>(result_rx: &mpsc::Receiver<(usize, std::thread::Result<R>)>) -> ! {
-    while let Ok((_, result)) = result_rx.try_recv() {
-        if let Err(payload) = result {
-            std::panic::resume_unwind(payload);
-        }
-    }
-    panic!("pool worker exited while the coordinator was dispatching");
-}
+// ---------------------------------------------------------------------------
+// Parallel cut enumeration on the harness
+// ---------------------------------------------------------------------------
 
 /// Mutable enumeration state shared between the coordinator and the pool:
 /// workers take read locks while processing a level, the coordinator takes
@@ -268,7 +557,7 @@ pub fn enumerate_cuts_threaded(
     model: &CutCostModel,
     threads: usize,
 ) -> NetworkCuts {
-    if threads <= 1 {
+    if threads <= 1 || WorkerPool::is_worker() {
         return enumerate_cuts_with_model(network, params, model);
     }
     let levels = levelize(network);
@@ -478,6 +767,25 @@ mod tests {
     }
 
     #[test]
+    fn level_parallel_reuses_the_pool_across_phases() {
+        // Two back-to-back phases on the same (global) pool: the second phase
+        // must behave exactly like the first — the pool survives a phase.
+        let levels: Vec<Vec<u32>> = vec![(0..64).collect()];
+        for _phase in 0..2 {
+            let sum = std::sync::Mutex::new(0u64);
+            level_parallel(
+                &levels,
+                4,
+                8,
+                || (),
+                |_, shard: &[u32]| shard.iter().map(|&x| x as u64).sum::<u64>(),
+                |results: Vec<u64>| *sum.lock().unwrap() += results.iter().sum::<u64>(),
+            );
+            assert_eq!(*sum.lock().unwrap(), (0..64).sum::<u64>());
+        }
+    }
+
+    #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
     }
@@ -506,5 +814,86 @@ mod tests {
             .copied()
             .unwrap_or_default();
         assert_eq!(msg, "worker exploded on purpose");
+    }
+
+    #[test]
+    fn run_with_executes_borrowed_jobs_and_main() {
+        let pool = WorkerPool::with_workers(2);
+        let mut slots = [0u32; 4];
+        let mut main_ran = false;
+        {
+            let (head, tail) = slots.split_at_mut(1);
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = tail
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    Box::new(move || *slot = i as u32 + 2) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_with(jobs, || {
+                head[0] = 1;
+                main_ran = true;
+            });
+        }
+        assert!(main_ran);
+        assert_eq!(slots, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_with_propagates_job_panics_after_the_barrier() {
+        let pool = WorkerPool::with_workers(2);
+        let done = std::sync::Mutex::new(0usize);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..3)
+                .map(|i| {
+                    let done = &done;
+                    Box::new(move || {
+                        if i == 1 {
+                            panic!("job exploded on purpose");
+                        }
+                        *done.lock().unwrap() += 1;
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_with(jobs, || {});
+        }));
+        let payload = caught.expect_err("the job panic must reach the caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "job exploded on purpose");
+        // The barrier ran: the surviving jobs completed before the panic
+        // surfaced.
+        assert_eq!(*done.lock().unwrap(), 2);
+    }
+
+    #[test]
+    fn run_with_from_a_worker_runs_inline() {
+        let pool = WorkerPool::with_workers(1);
+        let nested_ok = std::sync::Mutex::new(false);
+        {
+            let nested_ok = &nested_ok;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(move || {
+                assert!(WorkerPool::is_worker());
+                // A nested run_with from inside a pool worker must not
+                // deadlock the single-threaded pool.
+                let mut inner = [0u8; 2];
+                let (a, b) = inner.split_at_mut(1);
+                WorkerPool::global().run_with(
+                    vec![Box::new(|| b[0] = 2) as Box<dyn FnOnce() + Send + '_>],
+                    || a[0] = 1,
+                );
+                assert_eq!(inner, [1, 2]);
+                *nested_ok.lock().unwrap() = true;
+            })];
+            pool.run_with(jobs, || assert!(!WorkerPool::is_worker()));
+        }
+        assert!(*nested_ok.lock().unwrap());
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = WorkerPool::global();
+        let b = WorkerPool::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.workers() >= 1);
     }
 }

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 /// assert_eq!(aig.gate_count(), 1);
 /// assert_eq!(aig.depth(), 1);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Network {
     name: String,
     kind: NetworkKind,

@@ -184,13 +184,14 @@ pub fn prepare_cuts(
         }
         repr_levels[level].push(repr);
     }
-    // `representatives()` walks a hash map: sort each level so sharding —
-    // and the arena layout the commits produce — is reproducible run to run
-    // (the old id-ordered serial loop inherited the map's iteration order,
-    // which made choice-transfer arena layout depend on the hasher seed).
-    for bucket in &mut repr_levels {
-        bucket.sort_unstable();
-    }
+    // `representatives()` iterates in ascending id order (the choice network
+    // stores classes in id-sorted structures precisely so no consumer
+    // depends on a hasher seed), so each level bucket is already sorted and
+    // the sharding — and the arena layout the commits produce — is
+    // reproducible run to run.
+    debug_assert!(repr_levels
+        .iter()
+        .all(|bucket| bucket.windows(2).all(|w| w[0] < w[1])));
 
     let shared = std::sync::RwLock::new(cuts);
     level_parallel(
