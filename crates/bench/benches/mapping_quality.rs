@@ -18,6 +18,7 @@
 //! `MCH_BENCH_FULL=1` for the entire EPFL-like suite.
 
 use mch_benchmarks::{benchmark, epfl_suite, epfl_suite_small};
+use mch_core::{lut_flow_mch, try_lut_flow_mch_with_budget, FlowBudget, MchConfig};
 use mch_cut::CutCost;
 use mch_logic::Network;
 use mch_mapper::{
@@ -26,6 +27,7 @@ use mch_mapper::{
 use mch_techlib::{asap7_lite, LutLibrary};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 struct Row {
     circuit: String,
@@ -94,6 +96,54 @@ fn main() {
         });
     }
 
+    // Supervision overhead: the same MCH LUT flow once plain and once with a
+    // generous (enabled-but-unbreached) `FlowBudget`. The budgeted run pays
+    // for preflight validation and the phase-boundary budget checks, but no
+    // degradation rung fires — so the mapped result must be metric-identical
+    // and the wall-clock ratio within measurement noise. Two interleaved
+    // samples per variant, best-of taken, to shave scheduler jitter.
+    struct Supervised {
+        circuit: String,
+        plain_ms: f64,
+        budgeted_ms: f64,
+    }
+    let generous = FlowBudget::unlimited()
+        .with_deadline(Duration::from_secs(3600))
+        .with_max_cut_arena_slots(usize::MAX)
+        .with_max_resynthesis_candidates(usize::MAX);
+    let flow_config = MchConfig::lut_area();
+    let mut supervised: Vec<Supervised> = Vec::new();
+    for (name, net) in &circuits {
+        eprintln!("supervising {name}…");
+        let (mut plain_ms, mut budgeted_ms) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..2 {
+            let t = Instant::now();
+            let plain = lut_flow_mch(net, &lut, &flow_config);
+            plain_ms = plain_ms.min(t.elapsed().as_secs_f64() * 1e3);
+
+            let t = Instant::now();
+            let budgeted = try_lut_flow_mch_with_budget(net, &lut, &flow_config, &generous)
+                .expect("a generous budget must not fail a valid circuit");
+            budgeted_ms = budgeted_ms.min(t.elapsed().as_secs_f64() * 1e3);
+
+            assert!(
+                !budgeted.degradation.degraded(),
+                "{name}: a generous budget must not trip the degradation ladder"
+            );
+            assert_eq!(
+                (plain.luts, plain.levels),
+                (budgeted.luts, budgeted.levels),
+                "{name}: an unbreached budget changed the mapped result"
+            );
+        }
+        supervised.push(Supervised {
+            circuit: name.clone(),
+            plain_ms,
+            budgeted_ms,
+        });
+    }
+    let supervision_ratio = geomean(supervised.iter().map(|s| s.budgeted_ms / s.plain_ms));
+
     let lut_level_ratio = geomean(
         rows.iter()
             .map(|r| r.hybrid_levels as f64 / r.structural_levels as f64),
@@ -127,7 +177,21 @@ fn main() {
     }
     let _ = write!(
         json,
-        "  ],\n  \"geomean_hybrid_over_structural\": {{\"lut_levels\": {lut_level_ratio:.4}, \"lut_count\": {lut_count_ratio:.4}, \"asic_delay\": {asic_delay_ratio:.4}, \"asic_area\": {asic_area_ratio:.4}}}\n}}\n"
+        "  ],\n  \"geomean_hybrid_over_structural\": {{\"lut_levels\": {lut_level_ratio:.4}, \"lut_count\": {lut_count_ratio:.4}, \"asic_delay\": {asic_delay_ratio:.4}, \"asic_area\": {asic_area_ratio:.4}}},\n  \"supervision_overhead\": {{\n    \"flows\": [\n"
+    );
+    for (i, s) in supervised.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"circuit\": \"{}\", \"plain_ms\": {:.3}, \"budgeted_ms\": {:.3}}}{}",
+            s.circuit,
+            s.plain_ms,
+            s.budgeted_ms,
+            if i + 1 < supervised.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(
+        json,
+        "    ],\n    \"results_identical\": true,\n    \"geomean_time_ratio\": {supervision_ratio:.4}\n  }}\n}}\n"
     );
 
     // crates/bench → workspace root.
@@ -153,5 +217,16 @@ fn main() {
     eprintln!(
         "geomean ratios (hybrid/structural): LUT levels {lut_level_ratio:.4}, LUT count {lut_count_ratio:.4}, ASIC delay {asic_delay_ratio:.4}, ASIC area {asic_area_ratio:.4}"
     );
+    eprintln!("\nsupervision overhead (budgeted-but-unbreached MCH LUT flow vs plain):");
+    for s in &supervised {
+        eprintln!(
+            "  {:<12} plain {:>9.2} ms   budgeted {:>9.2} ms   ratio {:.3}",
+            s.circuit,
+            s.plain_ms,
+            s.budgeted_ms,
+            s.budgeted_ms / s.plain_ms,
+        );
+    }
+    eprintln!("geomean supervision time ratio (budgeted/plain): {supervision_ratio:.4}");
     eprintln!("wrote {}", out.display());
 }

@@ -39,7 +39,7 @@ use mch_logic::{
 use std::collections::HashSet;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, RwLock};
+use std::sync::{mpsc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 /// Smallest gate count worth planning on the pool; below it the fused serial
@@ -677,6 +677,7 @@ fn commit_node(
     commit_time: &mut Duration,
     recipe: NodeRecipe,
 ) {
+    mch_logic::failpoint!("npn::commit");
     let max = params.max_candidates_per_node;
     let mut added = 0usize;
     for plan in recipe.cut_plans {
@@ -760,6 +761,9 @@ fn resynthesis_serial(
 ) {
     let mut scratch = PlanScratch::new(network.len());
     for id in network.gate_ids() {
+        // Same site name as the threaded `commit_node`, so chaos schedules
+        // targeting NPN commits cover the serial path too.
+        mch_logic::failpoint!("npn::commit");
         let mut added = 0usize;
         emit_serial_from(
             network,
@@ -814,7 +818,7 @@ fn resynthesis_threaded(
                     let start = chunk * chunk_size;
                     let shard = &gate_ids[start..(start + chunk_size).min(gate_ids.len())];
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        let db = ctx.db.read().expect("npn database poisoned");
+                        let db = ctx.db.read().unwrap_or_else(PoisonError::into_inner);
                         shard
                             .iter()
                             .filter_map(|&id| plan_node(ctx, &db, &mut scratch, id))
@@ -833,24 +837,27 @@ fn resynthesis_threaded(
         let mut buffered: Vec<Option<Vec<NodeRecipe>>> =
             (0..chunk_count).map(|_| None).collect();
         let mut next_commit = 0usize;
-        // The coordinator's own scratch, for the rare serial fallback when a
-        // recipe's budgeted plans run dry before the candidate cap.
+        // The coordinator's own scratch — for the serial fallback when a
+        // recipe's budgeted plans run dry before the candidate cap, and for
+        // the chunks it plans itself below.
         let mut scratch = PlanScratch::new(ctx.network.len());
-        for _ in 0..chunk_count {
-            let (chunk, result) = result_rx
-                .recv()
-                .expect("every plan worker exited without reporting a chunk");
-            match result {
-                Ok(recipes) => buffered[chunk] = Some(recipes),
-                // Re-raise a worker panic with its original payload; the
-                // remaining workers drain the cursor and exit on their own.
-                Err(payload) => resume_unwind(payload),
+        while next_commit < chunk_count {
+            // Buffer everything that already arrived without blocking.
+            while let Ok((chunk, result)) = result_rx.try_recv() {
+                match result {
+                    Ok(recipes) => buffered[chunk] = Some(recipes),
+                    // Re-raise a worker panic with its original payload; the
+                    // remaining workers drain the cursor and exit on their
+                    // own.
+                    Err(payload) => resume_unwind(payload),
+                }
             }
+            // Commit strictly in chunk (hence node-id) order.
             while next_commit < chunk_count {
                 let Some(recipes) = buffered[next_commit].take() else {
                     break;
                 };
-                let mut db = ctx.db.write().expect("npn database poisoned");
+                let mut db = ctx.db.write().unwrap_or_else(PoisonError::into_inner);
                 for recipe in recipes {
                     commit_node(
                         ctx.network,
@@ -866,6 +873,35 @@ fn resynthesis_threaded(
                 }
                 drop(db);
                 next_commit += 1;
+            }
+            if next_commit >= chunk_count {
+                break;
+            }
+            // Nothing committable yet: help. The coordinator competes with
+            // the worker loops on the same cursor, so planning finishes even
+            // if every pool worker is dead and the worker-loop jobs never
+            // ran. Once the cursor is drained, any still-missing chunk is
+            // held by a live worker loop whose panic-catching body always
+            // reports, so a blocking recv cannot hang.
+            let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+            if chunk < chunk_count {
+                let start = chunk * chunk_size;
+                let shard = &gate_ids[start..(start + chunk_size).min(gate_ids.len())];
+                let db = ctx.db.read().unwrap_or_else(PoisonError::into_inner);
+                let recipes = shard
+                    .iter()
+                    .filter_map(|&id| plan_node(ctx, &db, &mut scratch, id))
+                    .collect::<Vec<NodeRecipe>>();
+                drop(db);
+                buffered[chunk] = Some(recipes);
+            } else {
+                let (chunk, result) = result_rx
+                    .recv()
+                    .expect("every plan worker exited without reporting a chunk");
+                match result {
+                    Ok(recipes) => buffered[chunk] = Some(recipes),
+                    Err(payload) => resume_unwind(payload),
+                }
             }
         }
         debug_assert_eq!(next_commit, chunk_count, "all chunks must commit");
@@ -958,7 +994,7 @@ pub fn build_mch_with_stats(network: &Network, params: &MchParams) -> (ChoiceNet
         };
         resynthesis_threaded(&ctx, &gate_ids, threads, &mut cn, &mut stats, &mut commit_time);
     } else {
-        let mut db = db.write().expect("npn database poisoned");
+        let mut db = db.write().unwrap_or_else(PoisonError::into_inner);
         resynthesis_serial(
             network,
             params,
@@ -970,7 +1006,7 @@ pub fn build_mch_with_stats(network: &Network, params: &MchParams) -> (ChoiceNet
             &mut commit_time,
         );
     }
-    let db = db.into_inner().expect("npn database poisoned");
+    let db = db.into_inner().unwrap_or_else(PoisonError::into_inner);
     stats.npn_classes = db.len();
     stats.npn_cache_hits = db.hits();
     stats.commit_time = commit_time;

@@ -1,16 +1,40 @@
 //! End-to-end mapping flows: the baselines of Table I, the DCH comparison and
 //! the MCH-based ASIC/FPGA flows.
 
+use crate::budget::{plan_degradation, shrink_cut_limit, DegradationReport, DegradationStep};
+use crate::error::panic_message;
+use crate::{validate_library, validate_lut_library, validate_network, FlowBudget, FlowError};
 use crate::MchConfig;
-use mch_choice::{add_snapshot_choices, build_mch, dch_from_snapshots, ChoiceNetwork};
-use mch_cut::WorkerPool;
+use mch_choice::{add_snapshot_choices, build_mch, dch_from_snapshots, ChoiceNetwork, MchParams};
+use mch_cut::{CutCost, WorkerPool};
 use mch_logic::{Network, NetworkKind, cec};
 use mch_mapper::{
     map_asic, map_lut, AsicMapParams, CellNetlist, LutMapParams, LutNetlist, MappingObjective,
 };
 use mch_opt::{compress2rs_like, compress_round, graph_map};
 use mch_techlib::{Library, LutLibrary};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+
+/// Runs a flow phase with panic containment: any unwind — from the calling
+/// thread or rethrown from a pool worker — becomes
+/// [`FlowError::WorkerPanic`] carrying the original payload message. The
+/// shared pool itself recovers independently (dead workers are respawned
+/// lazily, poisoned locks are taken over), so a contained flow leaves the
+/// process ready for the next one.
+fn contain<T>(f: impl FnOnce() -> T) -> Result<T, FlowError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| FlowError::WorkerPanic {
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+/// Unwraps a fallible flow for the panicking convenience API.
+fn unwrap_flow<T>(result: Result<T, FlowError>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(e) => panic!("{e}"),
+    }
+}
 
 /// Builds the mixed choice network for an MCH flow: the per-node candidates of
 /// Algorithm 2, optionally augmented with whole graph-mapped views of the
@@ -76,6 +100,9 @@ pub struct AsicFlowResult {
     pub seconds: f64,
     /// Whether the mapped netlist was verified equivalent to the input.
     pub verified: bool,
+    /// What the budget supervisor shed to stay inside the [`FlowBudget`];
+    /// empty (not degraded) for unbudgeted and unbreached flows.
+    pub degradation: DegradationReport,
 }
 
 /// Result of an FPGA (K-LUT) mapping flow.
@@ -93,6 +120,9 @@ pub struct LutFlowResult {
     pub seconds: f64,
     /// Whether the mapped netlist was verified equivalent to the input.
     pub verified: bool,
+    /// What the budget supervisor shed to stay inside the [`FlowBudget`];
+    /// empty (not degraded) for unbudgeted and unbreached flows.
+    pub degradation: DegradationReport,
 }
 
 fn finish_asic(
@@ -101,6 +131,7 @@ fn finish_asic(
     netlist: CellNetlist,
     library: &Library,
     start: Instant,
+    degradation: DegradationReport,
 ) -> AsicFlowResult {
     let seconds = start.elapsed().as_secs_f64();
     let verified = cec(input, &netlist.to_network(library)).holds();
@@ -111,6 +142,7 @@ fn finish_asic(
         netlist,
         seconds,
         verified,
+        degradation,
     }
 }
 
@@ -119,6 +151,7 @@ fn finish_lut(
     input: &Network,
     netlist: LutNetlist,
     start: Instant,
+    degradation: DegradationReport,
 ) -> LutFlowResult {
     let seconds = start.elapsed().as_secs_f64();
     let verified = cec(input, &netlist.to_network()).holds();
@@ -129,57 +162,96 @@ fn finish_lut(
         netlist,
         seconds,
         verified,
+        degradation,
     }
 }
 
 /// Baseline ASIC flow: map the input network directly (no structural choices),
 /// the stand-in for ABC's `&nf` (balanced/delay) and `map -a` (area) columns.
+///
+/// Panics on invalid inputs; use [`try_asic_flow_baseline`] to get a
+/// structured [`FlowError`] instead.
 pub fn asic_flow_baseline(
     network: &Network,
     library: &Library,
     objective: MappingObjective,
 ) -> AsicFlowResult {
-    let start = Instant::now();
-    let netlist = map_asic(
-        &ChoiceNetwork::from_network(network),
-        library,
-        &AsicMapParams::new(objective),
-    );
-    let name = match objective {
-        MappingObjective::Area => "baseline map -a",
-        MappingObjective::Delay => "baseline &nf (delay)",
-        MappingObjective::Balanced => "baseline &nf",
-    };
-    finish_asic(name, network, netlist, library, start)
+    unwrap_flow(try_asic_flow_baseline(network, library, objective))
+}
+
+/// Fallible [`asic_flow_baseline`]: validates the inputs up front and
+/// contains any phase panic as [`FlowError::WorkerPanic`].
+pub fn try_asic_flow_baseline(
+    network: &Network,
+    library: &Library,
+    objective: MappingObjective,
+) -> Result<AsicFlowResult, FlowError> {
+    validate_network(network)?;
+    validate_library(library)?;
+    contain(|| {
+        let start = Instant::now();
+        let netlist = map_asic(
+            &ChoiceNetwork::from_network(network),
+            library,
+            &AsicMapParams::new(objective),
+        );
+        let name = match objective {
+            MappingObjective::Area => "baseline map -a",
+            MappingObjective::Delay => "baseline &nf (delay)",
+            MappingObjective::Balanced => "baseline &nf",
+        };
+        finish_asic(name, network, netlist, library, start, DegradationReport::default())
+    })
 }
 
 /// DCH ASIC flow: structural choices from technology-independent optimization
 /// snapshots (the `&dch -m; &nf` / `dch; map -a` columns of Table I).
+///
+/// Panics on invalid inputs; use [`try_asic_flow_dch`] to get a structured
+/// [`FlowError`] instead.
 pub fn asic_flow_dch(
     network: &Network,
     library: &Library,
     objective: MappingObjective,
 ) -> AsicFlowResult {
-    let start = Instant::now();
-    let snap1 = compress_round(network);
-    let snap2 = compress2rs_like(&snap1, 2);
-    let choices = dch_from_snapshots(network, &[snap1, snap2]);
-    let netlist = map_asic(&choices, library, &AsicMapParams::new(objective));
-    finish_asic("DCH", network, netlist, library, start)
+    unwrap_flow(try_asic_flow_dch(network, library, objective))
 }
 
-/// MCH ASIC flow: mixed structural choices evaluated by the choice-aware
-/// mapper (the "MCH balanced / Delay-oriented / Area-oriented" columns).
-///
-/// The configured [`MchConfig::cut_ranking`] decides which cuts survive the
-/// per-node cut limit before the mapper's dynamic programming runs.
-pub fn asic_flow_mch(
+/// Fallible [`asic_flow_dch`]: validates the inputs up front and contains any
+/// phase panic as [`FlowError::WorkerPanic`].
+pub fn try_asic_flow_dch(
+    network: &Network,
+    library: &Library,
+    objective: MappingObjective,
+) -> Result<AsicFlowResult, FlowError> {
+    validate_network(network)?;
+    validate_library(library)?;
+    contain(|| {
+        let start = Instant::now();
+        let snap1 = compress_round(network);
+        let snap2 = compress2rs_like(&snap1, 2);
+        let choices = dch_from_snapshots(network, &[snap1, snap2]);
+        let netlist = map_asic(&choices, library, &AsicMapParams::new(objective));
+        finish_asic("DCH", network, netlist, library, start, DegradationReport::default())
+    })
+}
+
+/// The budgeted MCH ASIC flow body. Panics stay containable by the `try_*`
+/// wrapper; the degradation ladder itself is pure configuration surgery.
+fn asic_flow_mch_impl(
     network: &Network,
     library: &Library,
     config: &MchConfig,
+    budget: &FlowBudget,
 ) -> AsicFlowResult {
     let start = Instant::now();
-    let choices = build_flow_choices(network, config);
+    let (config, mut report) = plan_degradation(
+        network.len(),
+        network.gate_count(),
+        config,
+        budget,
+    );
+    let choices = build_flow_choices(network, &config);
     let mut params = AsicMapParams::new(config.objective)
         .with_ranking(config.cut_ranking)
         .with_threads(config.threads)
@@ -187,33 +259,116 @@ pub fn asic_flow_mch(
     if let Some(rounds) = config.area_rounds {
         params = params.with_area_rounds(rounds);
     }
+    // The choice network is deterministically sized, so this re-check is as
+    // reproducible as the pre-enumeration one.
+    params.cut_limit = shrink_cut_limit(
+        choices.network().len(),
+        params.cut_limit,
+        budget.max_cut_arena_slots,
+        &mut report,
+    );
+    if let Some(deadline) = budget.deadline {
+        if start.elapsed() >= deadline {
+            report.deadline_breached = true;
+            report.steps.push(DegradationStep::DeadlineFallback);
+            params = params
+                .with_ranking(CutCost::Structural)
+                .with_area_rounds(0)
+                .with_exact_area(false);
+        }
+    }
     let netlist = map_asic(&choices, library, &params);
-    finish_asic(config.name.clone(), network, netlist, library, start)
+    finish_asic(config.name.clone(), network, netlist, library, start, report)
+}
+
+/// MCH ASIC flow: mixed structural choices evaluated by the choice-aware
+/// mapper (the "MCH balanced / Delay-oriented / Area-oriented" columns).
+///
+/// The configured [`MchConfig::cut_ranking`] decides which cuts survive the
+/// per-node cut limit before the mapper's dynamic programming runs.
+///
+/// Panics on invalid inputs; use [`try_asic_flow_mch`] to get a structured
+/// [`FlowError`] instead.
+pub fn asic_flow_mch(
+    network: &Network,
+    library: &Library,
+    config: &MchConfig,
+) -> AsicFlowResult {
+    unwrap_flow(try_asic_flow_mch(network, library, config))
+}
+
+/// Fallible [`asic_flow_mch`]: validates the inputs up front and contains any
+/// phase panic as [`FlowError::WorkerPanic`].
+pub fn try_asic_flow_mch(
+    network: &Network,
+    library: &Library,
+    config: &MchConfig,
+) -> Result<AsicFlowResult, FlowError> {
+    try_asic_flow_mch_with_budget(network, library, config, &FlowBudget::unlimited())
+}
+
+/// [`try_asic_flow_mch`] under a [`FlowBudget`]: on breach the flow degrades
+/// down the deterministic ladder (recorded in the result's
+/// [`DegradationReport`]) instead of exhausting the machine — the output is
+/// still a complete, equivalence-checked netlist.
+pub fn try_asic_flow_mch_with_budget(
+    network: &Network,
+    library: &Library,
+    config: &MchConfig,
+    budget: &FlowBudget,
+) -> Result<AsicFlowResult, FlowError> {
+    validate_network(network)?;
+    validate_library(library)?;
+    contain(|| asic_flow_mch_impl(network, library, config, budget))
 }
 
 /// Baseline FPGA flow: plain K-LUT mapping of the input network.
+///
+/// Panics on invalid inputs; use [`try_lut_flow_baseline`] to get a
+/// structured [`FlowError`] instead.
 pub fn lut_flow_baseline(
     network: &Network,
     lut: &LutLibrary,
     objective: MappingObjective,
 ) -> LutFlowResult {
-    let start = Instant::now();
-    let netlist = map_lut(
-        &ChoiceNetwork::from_network(network),
-        lut,
-        &LutMapParams::new(objective),
-    );
-    finish_lut("baseline if", network, netlist, start)
+    unwrap_flow(try_lut_flow_baseline(network, lut, objective))
 }
 
-/// MCH FPGA flow: K-LUT mapping over a mixed choice network (the Table-II
-/// configuration: AIG + XMG, area-focused, no other optimization).
-///
-/// The configured [`MchConfig::cut_ranking`] decides which cuts survive the
-/// per-node cut limit before the mapper's dynamic programming runs.
-pub fn lut_flow_mch(network: &Network, lut: &LutLibrary, config: &MchConfig) -> LutFlowResult {
+/// Fallible [`lut_flow_baseline`]: validates the inputs up front and contains
+/// any phase panic as [`FlowError::WorkerPanic`].
+pub fn try_lut_flow_baseline(
+    network: &Network,
+    lut: &LutLibrary,
+    objective: MappingObjective,
+) -> Result<LutFlowResult, FlowError> {
+    validate_network(network)?;
+    validate_lut_library(lut)?;
+    contain(|| {
+        let start = Instant::now();
+        let netlist = map_lut(
+            &ChoiceNetwork::from_network(network),
+            lut,
+            &LutMapParams::new(objective),
+        );
+        finish_lut("baseline if", network, netlist, start, DegradationReport::default())
+    })
+}
+
+/// The budgeted MCH FPGA flow body (see [`asic_flow_mch_impl`]).
+fn lut_flow_mch_impl(
+    network: &Network,
+    lut: &LutLibrary,
+    config: &MchConfig,
+    budget: &FlowBudget,
+) -> LutFlowResult {
     let start = Instant::now();
-    let choices = build_flow_choices(network, config);
+    let (config, mut report) = plan_degradation(
+        network.len(),
+        network.gate_count(),
+        config,
+        budget,
+    );
+    let choices = build_flow_choices(network, &config);
     let mut params = LutMapParams::new(config.objective)
         .with_ranking(config.cut_ranking)
         .with_threads(config.threads)
@@ -221,8 +376,70 @@ pub fn lut_flow_mch(network: &Network, lut: &LutLibrary, config: &MchConfig) -> 
     if let Some(rounds) = config.area_rounds {
         params = params.with_area_rounds(rounds);
     }
+    params.cut_limit = shrink_cut_limit(
+        choices.network().len(),
+        params.cut_limit,
+        budget.max_cut_arena_slots,
+        &mut report,
+    );
+    if let Some(deadline) = budget.deadline {
+        if start.elapsed() >= deadline {
+            report.deadline_breached = true;
+            report.steps.push(DegradationStep::DeadlineFallback);
+            params = params
+                .with_ranking(CutCost::Structural)
+                .with_area_rounds(0)
+                .with_exact_area(false);
+        }
+    }
     let netlist = map_lut(&choices, lut, &params);
-    finish_lut(config.name.clone(), network, netlist, start)
+    finish_lut(config.name.clone(), network, netlist, start, report)
+}
+
+/// MCH FPGA flow: K-LUT mapping over a mixed choice network (the Table-II
+/// configuration: AIG + XMG, area-focused, no other optimization).
+///
+/// The configured [`MchConfig::cut_ranking`] decides which cuts survive the
+/// per-node cut limit before the mapper's dynamic programming runs.
+///
+/// Panics on invalid inputs; use [`try_lut_flow_mch`] to get a structured
+/// [`FlowError`] instead.
+pub fn lut_flow_mch(network: &Network, lut: &LutLibrary, config: &MchConfig) -> LutFlowResult {
+    unwrap_flow(try_lut_flow_mch(network, lut, config))
+}
+
+/// Fallible [`lut_flow_mch`]: validates the inputs up front and contains any
+/// phase panic as [`FlowError::WorkerPanic`].
+pub fn try_lut_flow_mch(
+    network: &Network,
+    lut: &LutLibrary,
+    config: &MchConfig,
+) -> Result<LutFlowResult, FlowError> {
+    try_lut_flow_mch_with_budget(network, lut, config, &FlowBudget::unlimited())
+}
+
+/// [`try_lut_flow_mch`] under a [`FlowBudget`] (see
+/// [`try_asic_flow_mch_with_budget`]).
+pub fn try_lut_flow_mch_with_budget(
+    network: &Network,
+    lut: &LutLibrary,
+    config: &MchConfig,
+    budget: &FlowBudget,
+) -> Result<LutFlowResult, FlowError> {
+    validate_network(network)?;
+    validate_lut_library(lut)?;
+    contain(|| lut_flow_mch_impl(network, lut, config, budget))
+}
+
+/// Fallible [`build_mch`](mch_choice::build_mch): validates the network up
+/// front and contains any panic from choice construction (including pool
+/// workers) as [`FlowError::WorkerPanic`].
+pub fn try_build_mch(
+    network: &Network,
+    params: &MchParams,
+) -> Result<ChoiceNetwork, FlowError> {
+    validate_network(network)?;
+    contain(|| build_mch(network, params))
 }
 
 /// Applies the `compress2rs`-like pre-optimization the paper uses to prepare

@@ -24,15 +24,22 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod budget;
 mod config;
+mod error;
 mod flow;
 mod report;
 
+pub use budget::{DegradationReport, DegradationStep, FlowBudget, StrategyClass};
 pub use config::MchConfig;
+pub use error::{validate_library, validate_lut_library, validate_network, FlowError};
 pub use flow::{
     asic_flow_baseline, asic_flow_dch, asic_flow_mch, lut_flow_baseline, lut_flow_mch,
-    prepare_input, AsicFlowResult, LutFlowResult,
+    prepare_input, try_asic_flow_baseline, try_asic_flow_dch, try_asic_flow_mch,
+    try_asic_flow_mch_with_budget, try_build_mch, try_lut_flow_baseline, try_lut_flow_mch,
+    try_lut_flow_mch_with_budget, AsicFlowResult, LutFlowResult,
 };
 pub use report::{geometric_mean, improvement_percent, FlowMetrics};
 

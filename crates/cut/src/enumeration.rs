@@ -722,6 +722,9 @@ pub fn enumerate_cuts_with_model(
         );
         node_costs[id.index()] = best;
         spans[id.index()] = (arena.len() as u32, scratch.final_cuts.len() as u32);
+        // Same site name as the parallel driver's per-level merge, so chaos
+        // schedules targeting arena growth cover the serial path too.
+        mch_logic::failpoint!("cut::arena_grow");
         arena.append(&mut scratch.final_cuts);
     }
     NetworkCuts {

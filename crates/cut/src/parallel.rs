@@ -53,7 +53,22 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, PoisonError, RwLock};
+
+/// Recovers a mutex/rwlock guard from a poisoned lock.
+///
+/// Every lock in this module protects state that is either always consistent
+/// (the job queue: panicking jobs are wrapped, so a queue operation itself
+/// never unwinds mid-update) or discarded wholesale when a phase unwinds (the
+/// enumeration arena), so the poison flag carries no information here beyond
+/// "some other thread panicked once" — which fault containment explicitly
+/// must survive.
+macro_rules! recover {
+    ($lock:expr) => {
+        $lock.unwrap_or_else(PoisonError::into_inner)
+    };
+}
 
 /// Smallest level (or representative batch) worth sharding across the pool;
 /// anything narrower runs inline on the coordinating thread, which keeps
@@ -99,6 +114,23 @@ struct PoolQueue {
 struct PoolShared {
     queue: Mutex<PoolQueue>,
     ready: Condvar,
+    /// Live worker threads — decremented by [`WorkerToken`] when a worker
+    /// exits for any reason (shutdown, or an injected death), consulted by
+    /// [`WorkerPool::ensure_workers`] to respawn lazily.
+    live: AtomicUsize,
+    /// Monotonic id source for worker thread names.
+    next_name: AtomicUsize,
+}
+
+/// Held for a worker thread's whole life; the `Drop` impl keeps the live
+/// count honest even when the worker dies by unwinding (e.g. through the
+/// `pool::worker` failpoint), so the next `run_with` knows to respawn.
+struct WorkerToken(Arc<PoolShared>);
+
+impl Drop for WorkerToken {
+    fn drop(&mut self) {
+        self.0.live.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// Completion latch shared between one [`WorkerPool::run_with`] call and the
@@ -149,15 +181,48 @@ impl WorkerPool {
                 shutdown: false,
             }),
             ready: Condvar::new(),
+            live: AtomicUsize::new(0),
+            next_name: AtomicUsize::new(0),
         });
-        for i in 0..workers {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("mch-pool-{i}"))
-                .spawn(move || worker_main(&shared))
-                .expect("spawn pool worker thread");
+        let pool = WorkerPool { shared, workers };
+        pool.ensure_workers();
+        pool
+    }
+
+    /// Respawns worker threads up to the pool's configured size. Called at
+    /// the start of every coordinated run so a worker killed by an injected
+    /// fault is replaced lazily, on the next phase that needs it. Spawn
+    /// failures are tolerated: the coordinator help-drains the job queue
+    /// itself (see [`run_with`](WorkerPool::run_with)), so forward progress
+    /// never depends on a successful spawn.
+    fn ensure_workers(&self) {
+        loop {
+            let live = self.shared.live.load(Ordering::Acquire);
+            if live >= self.workers {
+                return;
+            }
+            if self
+                .shared
+                .live
+                .compare_exchange(live, live + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            let shared = Arc::clone(&self.shared);
+            let id = self.shared.next_name.fetch_add(1, Ordering::Relaxed);
+            let spawned = std::thread::Builder::new()
+                .name(format!("mch-pool-{id}"))
+                .spawn(move || {
+                    let token = WorkerToken(Arc::clone(&shared));
+                    worker_main(&shared, token);
+                })
+                .is_ok();
+            if !spawned {
+                self.shared.live.fetch_sub(1, Ordering::AcqRel);
+                return;
+            }
         }
-        WorkerPool { shared, workers }
     }
 
     /// The process-wide pool, spawned on first use with
@@ -209,7 +274,10 @@ impl WorkerPool {
         if Self::is_worker() {
             let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
             for job in jobs {
-                if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                    mch_logic::failpoint!("pool::dispatch");
+                    job()
+                })) {
                     first_panic.get_or_insert(payload);
                 }
             }
@@ -222,21 +290,25 @@ impl WorkerPool {
             }
             return;
         }
+        self.ensure_workers();
         let state = Arc::new(RunState {
             remaining: Mutex::new(jobs.len()),
             done: Condvar::new(),
             panic: Mutex::new(None),
         });
         {
-            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            let mut queue = recover!(self.shared.queue.lock());
             for job in jobs {
                 let state = Arc::clone(&state);
                 let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
-                    if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
-                        let mut slot = state.panic.lock().expect("panic slot poisoned");
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                        mch_logic::failpoint!("pool::dispatch");
+                        job()
+                    })) {
+                        let mut slot = recover!(state.panic.lock());
                         slot.get_or_insert(payload);
                     }
-                    let mut remaining = state.remaining.lock().expect("run latch poisoned");
+                    let mut remaining = recover!(state.remaining.lock());
                     *remaining -= 1;
                     if *remaining == 0 {
                         state.done.notify_all();
@@ -257,17 +329,53 @@ impl WorkerPool {
             self.shared.ready.notify_all();
         }
         let main_result = catch_unwind(AssertUnwindSafe(main));
-        let mut remaining = state.remaining.lock().expect("run latch poisoned");
-        while *remaining > 0 {
-            remaining = state.done.wait(remaining).expect("run latch poisoned");
-        }
-        drop(remaining);
+        self.help_drain(&state);
         if let Err(payload) = main_result {
             resume_unwind(payload);
         }
-        let job_panic = state.panic.lock().expect("panic slot poisoned").take();
+        let job_panic = recover!(state.panic.lock()).take();
         if let Some(payload) = job_panic {
             resume_unwind(payload);
+        }
+    }
+
+    /// The completion barrier of [`run_with`](WorkerPool::run_with): blocks
+    /// until every submitted job finished, *helping* — the coordinator keeps
+    /// pulling queued jobs and running them inline whenever its own latch is
+    /// still open. Every job popped from the queue reaches its latch
+    /// decrement (the panic-catching wrapper guarantees it), so this loop
+    /// terminates even if every worker thread is dead: whatever is still
+    /// queued, the coordinator executes itself. Stolen jobs may belong to a
+    /// *different* concurrent run; running them here is harmless (they
+    /// decrement their own latch) and can only speed that run up.
+    fn help_drain(&self, state: &RunState) {
+        loop {
+            if *recover!(state.remaining.lock()) == 0 {
+                return;
+            }
+            let job = recover!(self.shared.queue.lock()).jobs.pop_front();
+            match job {
+                Some(job) => {
+                    // The coordinator acts as a pool worker for the duration
+                    // of a stolen job: jobs may assert `is_worker()`, and the
+                    // recursion guard must steer any nested phase inside the
+                    // job onto the serial path exactly as on a real worker.
+                    // (Stolen jobs are panic-wrapped, so no unwind can leak
+                    // the flag.)
+                    IS_POOL_WORKER.with(|flag| flag.set(true));
+                    job();
+                    IS_POOL_WORKER.with(|flag| flag.set(false));
+                }
+                None => {
+                    // Nothing left to steal: every outstanding job is being
+                    // executed by someone who will decrement the latch.
+                    let mut remaining = recover!(state.remaining.lock());
+                    while *remaining > 0 {
+                        remaining = recover!(state.done.wait(remaining));
+                    }
+                    return;
+                }
+            }
         }
     }
 }
@@ -276,18 +384,21 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Every `run_with` waits for its jobs, so the queue is empty here;
         // raising the flag wakes the idle workers and they exit.
-        if let Ok(mut queue) = self.shared.queue.lock() {
-            queue.shutdown = true;
-        }
+        recover!(self.shared.queue.lock()).shutdown = true;
         self.shared.ready.notify_all();
     }
 }
 
-fn worker_main(shared: &PoolShared) {
+fn worker_main(shared: &PoolShared, _token: WorkerToken) {
     IS_POOL_WORKER.with(|flag| flag.set(true));
     loop {
+        // Injected worker death happens strictly *between* jobs: a popped
+        // job always reaches its latch decrement, so killing a worker here
+        // can delay a run (until the coordinator steals the queued jobs or a
+        // replacement spawns) but can never strand one.
+        mch_logic::failpoint!("pool::worker");
         let job = {
-            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            let mut queue = recover!(shared.queue.lock());
             loop {
                 if let Some(job) = queue.jobs.pop_front() {
                     break Some(job);
@@ -295,7 +406,7 @@ fn worker_main(shared: &PoolShared) {
                 if queue.shutdown {
                     break None;
                 }
-                queue = shared.ready.wait(queue).expect("pool queue poisoned");
+                queue = recover!(shared.ready.wait(queue));
             }
         };
         match job {
@@ -347,7 +458,7 @@ impl TaskQueue {
     }
 
     fn push_all(&self, tasks: impl Iterator<Item = Task>) {
-        let mut state = self.state.lock().expect("task queue poisoned");
+        let mut state = recover!(self.state.lock());
         state.tasks.extend(tasks);
         self.ready.notify_all();
     }
@@ -356,7 +467,7 @@ impl TaskQueue {
     /// queue returns `None` immediately, discarding any leftover tasks (which
     /// only exist when the coordinator unwound mid-level).
     fn pop(&self) -> Option<Task> {
-        let mut state = self.state.lock().expect("task queue poisoned");
+        let mut state = recover!(self.state.lock());
         loop {
             if state.closed {
                 return None;
@@ -364,12 +475,22 @@ impl TaskQueue {
             if let Some(task) = state.tasks.pop_front() {
                 return Some(task);
             }
-            state = self.ready.wait(state).expect("task queue poisoned");
+            state = recover!(self.ready.wait(state));
         }
     }
 
+    /// Non-blocking pop, used by the coordinator to help execute its own
+    /// level when some (or all) pool workers are dead or busy elsewhere.
+    fn try_pop(&self) -> Option<Task> {
+        let mut state = recover!(self.state.lock());
+        if state.closed {
+            return None;
+        }
+        state.tasks.pop_front()
+    }
+
     fn close(&self) {
-        self.state.lock().expect("task queue poisoned").closed = true;
+        recover!(self.state.lock()).closed = true;
         self.ready.notify_all();
     }
 }
@@ -494,16 +615,39 @@ pub fn level_parallel<T, S, R>(
                 }
             }));
             let mut results: Vec<Option<R>> = (0..chunk_count).map(|_| None).collect();
-            for _ in 0..chunk_count {
-                // Plain blocking recv: a worker cannot vanish silently — a
-                // panic inside `work` is caught and forwarded (buffered
-                // payloads are delivered before a disconnect error), and if
-                // every loop somehow exited, all senders drop and recv errors.
+            let mut collected = 0;
+            // The coordinator helps execute its own level: it competes with
+            // the worker loops for queued shards and runs them inline. This
+            // makes the level's completion unconditional — even if every
+            // pool worker is dead (injected faults) and the worker-loop jobs
+            // never run, the coordinator drains all shards itself. Shard
+            // results are identical regardless of which thread computed
+            // them, so commit order (chunk index) still fixes the output.
+            while let Some(task) = queue.try_pop() {
+                let scratch = inline_scratch.get_or_insert_with(init);
+                let shard = &levels[task.level][task.start..task.end];
+                match catch_unwind(AssertUnwindSafe(|| work(scratch, shard))) {
+                    Ok(r) => {
+                        results[task.chunk] = Some(r);
+                        collected += 1;
+                    }
+                    Err(payload) => resume_unwind(payload),
+                }
+            }
+            while collected < chunk_count {
+                // Every shard not executed above was popped by a live worker
+                // loop, whose panic-catching body always reports — a panic
+                // inside `work` is caught and forwarded (buffered payloads
+                // are delivered before a disconnect error), so a plain
+                // blocking recv cannot hang.
                 let (chunk, result) = result_rx
                     .recv()
                     .expect("every pool worker exited without reporting a shard");
                 match result {
-                    Ok(r) => results[chunk] = Some(r),
+                    Ok(r) => {
+                        results[chunk] = Some(r);
+                        collected += 1;
+                    }
                     // Re-raise the worker's panic on the coordinator with its
                     // original payload; the close-on-drop guard releases the
                     // remaining worker loops.
@@ -577,7 +721,7 @@ pub fn enumerate_cuts_threaded(
         MIN_PARALLEL_LEVEL,
         NodeScratch::new,
         |scratch: &mut NodeScratch, shard: &[NodeId]| {
-            let state = shared.read().expect("enumeration state poisoned");
+            let state = recover!(shared.read());
             let mut out = ShardCuts {
                 nodes: Vec::with_capacity(shard.len()),
                 cuts: Vec::new(),
@@ -602,7 +746,8 @@ pub fn enumerate_cuts_threaded(
             out
         },
         |shards: Vec<ShardCuts>| {
-            let mut state = shared.write().expect("enumeration state poisoned");
+            mch_logic::failpoint!("cut::arena_grow");
+            let mut state = recover!(shared.write());
             for mut shard in shards {
                 let mut start = state.arena.len() as u32;
                 state.arena.append(&mut shard.cuts);
@@ -614,9 +759,7 @@ pub fn enumerate_cuts_threaded(
             }
         },
     );
-    let state = shared
-        .into_inner()
-        .expect("enumeration state poisoned");
+    let state = shared.into_inner().unwrap_or_else(PoisonError::into_inner);
     canonicalize(network, params, model, state, fanout_est)
 }
 
@@ -895,5 +1038,109 @@ mod tests {
         let b = WorkerPool::global();
         assert!(std::ptr::eq(a, b));
         assert!(a.workers() >= 1);
+    }
+
+    #[test]
+    fn global_pool_survives_a_panicked_job() {
+        // A panicking job on the process-wide pool must fail only its own
+        // run: the pool stays usable, immediately, for ordinary work.
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            WorkerPool::global().run_with(
+                vec![Box::new(|| panic!("poison attempt")) as Box<dyn FnOnce() + Send + '_>],
+                || {},
+            );
+        }));
+        assert!(caught.is_err(), "the job panic must surface to the caller");
+        let levels: Vec<Vec<u32>> = vec![(0..64).collect()];
+        let sum = std::sync::Mutex::new(0u64);
+        level_parallel(
+            &levels,
+            4,
+            8,
+            || (),
+            |_, shard: &[u32]| shard.iter().map(|&x| x as u64).sum::<u64>(),
+            |results: Vec<u64>| *sum.lock().unwrap() += results.iter().sum::<u64>(),
+        );
+        assert_eq!(*sum.lock().unwrap(), (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn repeated_job_panics_do_not_degrade_the_pool() {
+        let pool = WorkerPool::with_workers(2);
+        for round in 0..8 {
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run_with(
+                    vec![
+                        Box::new(move || panic!("round {round}")) as Box<dyn FnOnce() + Send + '_>
+                    ],
+                    || {},
+                );
+            }));
+            assert!(caught.is_err());
+            // Between panics the pool still completes normal work.
+            let mut slot = 0u32;
+            {
+                let slot = &mut slot;
+                pool.run_with(
+                    vec![Box::new(move || *slot = round + 1) as Box<dyn FnOnce() + Send + '_>],
+                    || {},
+                );
+            }
+            assert_eq!(slot, round + 1);
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn coordinator_completes_runs_with_dead_workers_and_respawns() {
+        use mch_logic::failpoint;
+        // Serialize against other fault-injection tests in this binary.
+        static GATE: Mutex<()> = Mutex::new(());
+        let _gate = recover!(GATE.lock());
+        let pool = WorkerPool::with_workers(2);
+        // Silence the expected worker-death panics for the duration.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with(failpoint::PANIC_PREFIX));
+            if !injected {
+                eprintln!("{info}");
+            }
+        }));
+        // Kill both workers at their next between-jobs check, then give them
+        // a reason to wake up: the run's jobs. The coordinator must finish
+        // the run by help-draining even with zero live workers.
+        failpoint::arm_exact("pool::worker", &[0, 1]);
+        let mut slots = [0u32; 3];
+        {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                .iter_mut()
+                .map(|slot| Box::new(move || *slot = 7) as Box<dyn FnOnce() + Send + '_>)
+                .collect();
+            pool.run_with(jobs, || {});
+        }
+        failpoint::disarm();
+        std::panic::set_hook(prev_hook);
+        assert_eq!(slots, [7, 7, 7]);
+        // Wait for the dying workers' tokens to drop, then a fresh run must
+        // respawn workers lazily and still work.
+        for _ in 0..100 {
+            if pool.shared.live.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let mut after = 0u32;
+        {
+            let after = &mut after;
+            pool.run_with(
+                vec![Box::new(move || *after = 9) as Box<dyn FnOnce() + Send + '_>],
+                || {},
+            );
+        }
+        assert_eq!(after, 9);
+        assert!(pool.shared.live.load(Ordering::Acquire) >= 1);
     }
 }

@@ -69,6 +69,29 @@ pub fn read_aiger(text: &str) -> Result<Network, ParseAigerError> {
             1,
         ));
     }
+    // The header counts are untrusted: every declared object occupies at
+    // least one byte of body text, so counts beyond the file size are lies —
+    // reject them before sizing any allocation after them.
+    if max_var > text.len() {
+        return Err(ParseAigerError::new(
+            format!("maximum variable index {max_var} exceeds the file size"),
+            1,
+        ));
+    }
+    if num_inputs.saturating_add(num_ands) > max_var {
+        return Err(ParseAigerError::new(
+            format!(
+                "{num_inputs} inputs + {num_ands} ANDs need more variables than the declared maximum {max_var}"
+            ),
+            1,
+        ));
+    }
+    if num_outputs > text.len() {
+        return Err(ParseAigerError::new(
+            format!("output count {num_outputs} exceeds the file size"),
+            1,
+        ));
+    }
 
     let mut net = Network::new(NetworkKind::Aig);
     // literal -> signal map, indexed by variable.
@@ -81,8 +104,14 @@ pub fn read_aiger(text: &str) -> Result<Network, ParseAigerError> {
             .next()
             .ok_or_else(|| ParseAigerError::new("missing input line", 0))?;
         let lit: usize = parse(line.trim(), "input literal", idx + 1)?;
-        if !lit.is_multiple_of(2) || lit / 2 > max_var {
+        if !lit.is_multiple_of(2) || lit < 2 || lit / 2 > max_var {
             return Err(ParseAigerError::new("invalid input literal", idx + 1));
+        }
+        if map[lit / 2].is_some() {
+            return Err(ParseAigerError::new(
+                format!("variable {} defined twice", lit / 2),
+                idx + 1,
+            ));
         }
         let s = net.add_input();
         map[lit / 2] = Some(s);
@@ -114,8 +143,14 @@ pub fn read_aiger(text: &str) -> Result<Network, ParseAigerError> {
         let lhs: usize = parse(parts[0], "AND output literal", idx + 1)?;
         let rhs0: usize = parse(parts[1], "AND fanin literal", idx + 1)?;
         let rhs1: usize = parse(parts[2], "AND fanin literal", idx + 1)?;
-        if !lhs.is_multiple_of(2) || lhs / 2 > max_var {
+        if !lhs.is_multiple_of(2) || lhs < 2 || lhs / 2 > max_var {
             return Err(ParseAigerError::new("invalid AND output literal", idx + 1));
+        }
+        if map[lhs / 2].is_some() {
+            return Err(ParseAigerError::new(
+                format!("variable {} defined twice", lhs / 2),
+                idx + 1,
+            ));
         }
         let resolve = |lit: usize, line: usize| -> Result<Signal, ParseAigerError> {
             let var = lit / 2;

@@ -2,10 +2,16 @@
 //!
 //! * [`read_aiger`] / [`write_aiger`] — the ASCII AIGER (`aag`) exchange
 //!   format used by the EPFL benchmark distribution and ABC;
-//! * [`write_blif`] — BLIF output of logic networks (for consumption by other
-//!   synthesis tools);
+//! * [`read_blif`] / [`write_blif`] — BLIF input/output of logic networks
+//!   (for exchange with other synthesis tools);
 //! * [`write_lut_blif`] — BLIF output of mapped K-LUT netlists;
-//! * [`write_verilog`] — structural Verilog of mapped standard-cell netlists.
+//! * [`read_verilog`] / [`write_verilog`] — structural Verilog of mapped
+//!   standard-cell netlists.
+//!
+//! All readers consume **untrusted** text: malformed input of any shape —
+//! including random mutations of valid files — returns the format's
+//! structured error and never panics or makes an attacker-sized
+//! allocation (`tests/parser_robustness.rs` fuzzes this property).
 //!
 //! # Example
 //!
@@ -25,10 +31,12 @@
 //! # Ok::<(), mch_io::ParseAigerError>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod aiger;
 mod blif;
 mod verilog;
 
 pub use aiger::{read_aiger, write_aiger, ParseAigerError};
-pub use blif::{write_blif, write_lut_blif};
-pub use verilog::write_verilog;
+pub use blif::{read_blif, write_blif, write_lut_blif, ParseBlifError};
+pub use verilog::{read_verilog, write_verilog, ParseVerilogError};

@@ -33,6 +33,9 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "fault-injection")]
+pub mod failpoint;
+
 mod convert;
 mod gate;
 mod network;
@@ -59,3 +62,18 @@ pub use traversal::{
     Mffc,
 };
 pub use truth::TruthTable;
+
+/// Mark a named fault-injection site.
+///
+/// With the `fault-injection` feature enabled in the **invoking** crate the
+/// macro calls `failpoint::hit`, which may panic according to the armed
+/// schedule; without it the macro expands to nothing, so production builds
+/// pay zero cost. Crates hosting failpoints must forward their own
+/// `fault-injection` feature to `mch_logic/fault-injection`.
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {{
+        #[cfg(feature = "fault-injection")]
+        $crate::failpoint::hit($name);
+    }};
+}

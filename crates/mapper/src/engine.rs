@@ -310,6 +310,7 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
         };
         let strict_delay = params.objective == MappingObjective::Delay;
         for _round in 0..params.area_rounds {
+            mch_logic::failpoint!("engine::round");
             let required = compute_required(
                 net,
                 target,

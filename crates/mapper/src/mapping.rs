@@ -200,7 +200,9 @@ pub fn prepare_cuts(
         MIN_TRANSFER_SHARD,
         Vec::<Cut>::new,
         |inherited: &mut Vec<Cut>, shard: &[NodeId]| {
-            let cuts = shared.read().expect("cut state poisoned");
+            let cuts = shared
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let mut extensions: Vec<(NodeId, Vec<Cut>)> = Vec::with_capacity(shard.len());
             for &repr in shard {
                 inherited.clear();
@@ -228,13 +230,17 @@ pub fn prepare_cuts(
             extensions
         },
         |level_extensions: Vec<Vec<(NodeId, Vec<Cut>)>>| {
-            let mut cuts = shared.write().expect("cut state poisoned");
+            let mut cuts = shared
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             for (repr, ranked) in level_extensions.into_iter().flatten() {
                 cuts.commit_extension(repr, ranked);
             }
         },
     );
-    shared.into_inner().expect("cut state poisoned")
+    shared
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Smallest representative batch worth sharding during choice transfer;

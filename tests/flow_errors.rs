@@ -1,0 +1,106 @@
+//! Structured-error behaviour of the fallible flow entry points.
+//!
+//! Malformed networks and libraries must surface as `FlowError` values from
+//! every `try_*` flow, and the panicking convenience wrappers must panic
+//! with the same rendered message — never with an internal assertion ten
+//! frames deep.
+
+use mch::core::{FlowError, MchConfig};
+use mch::benchmarks::demo_adder_gt;
+use mch::logic::{Network, NetworkKind, TruthTable};
+use mch::mapper::MappingObjective;
+use mch::techlib::{asap7_lite, Cell, Library, LutLibrary};
+
+fn outputless() -> Network {
+    let mut n = Network::new(NetworkKind::Aig);
+    let a = n.add_input();
+    let b = n.add_input();
+    let _ = n.and2(a, b);
+    n
+}
+
+#[test]
+fn outputless_networks_are_rejected_by_every_flow() {
+    let n = outputless();
+    let lib = asap7_lite();
+    let lut = LutLibrary::k6();
+    let cfg = MchConfig::balanced();
+    let expect_invalid = |e: FlowError| {
+        assert!(
+            matches!(e, FlowError::InvalidNetwork { .. }),
+            "expected InvalidNetwork, got {e}"
+        );
+    };
+    expect_invalid(
+        mch::core::try_asic_flow_baseline(&n, &lib, MappingObjective::Balanced).unwrap_err(),
+    );
+    expect_invalid(
+        mch::core::try_asic_flow_dch(&n, &lib, MappingObjective::Balanced).unwrap_err(),
+    );
+    expect_invalid(mch::core::try_asic_flow_mch(&n, &lib, &cfg).unwrap_err());
+    expect_invalid(
+        mch::core::try_lut_flow_baseline(&n, &lut, MappingObjective::Area).unwrap_err(),
+    );
+    expect_invalid(mch::core::try_lut_flow_mch(&n, &lut, &MchConfig::lut_area()).unwrap_err());
+    expect_invalid(mch::core::try_build_mch(&n, &cfg.mch).unwrap_err());
+}
+
+#[test]
+fn defective_libraries_are_rejected_with_context() {
+    let net = demo_adder_gt();
+
+    let empty = Library::new("empty");
+    let err = mch::core::try_asic_flow_mch(&net, &empty, &MchConfig::balanced()).unwrap_err();
+    assert!(matches!(err, FlowError::InvalidLibrary { .. }));
+    assert!(err.to_string().contains("no cells"), "got: {err}");
+
+    let mut no_inverter = Library::new("no-inverter");
+    let a = TruthTable::var(2, 0);
+    let b = TruthTable::var(2, 1);
+    no_inverter.add_cell(Cell::new("AND2", a.and(&b), 1.0, 10.0));
+    let err =
+        mch::core::try_asic_flow_baseline(&net, &no_inverter, MappingObjective::Area).unwrap_err();
+    assert!(err.to_string().contains("inverter"), "got: {err}");
+
+    // An inverted cost model: a wide cell strictly cheaper AND faster than
+    // the best narrow cell breaks the monotonicity the rankings assume.
+    let mut inverted = Library::new("inverted");
+    inverted.add_cell(Cell::new("INV", TruthTable::var(1, 0).not(), 5.0, 50.0));
+    let x = TruthTable::var(3, 0);
+    let y = TruthTable::var(3, 1);
+    let z = TruthTable::var(3, 2);
+    inverted.add_cell(Cell::new("AND3", x.and(&y).and(&z), 1.0, 10.0));
+    let err = mch::core::try_asic_flow_dch(&net, &inverted, MappingObjective::Balanced).unwrap_err();
+    assert!(err.to_string().contains("monotone"), "got: {err}");
+}
+
+#[test]
+fn panicking_wrappers_render_the_structured_error() {
+    let n = outputless();
+    let lib = asap7_lite();
+    let caught = std::panic::catch_unwind(|| {
+        mch::core::asic_flow_mch(&n, &lib, &MchConfig::balanced());
+    })
+    .expect_err("the convenience wrapper must panic on invalid input");
+    let message = caught
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("invalid network"),
+        "wrapper panic lost the structured message: {message}"
+    );
+}
+
+#[test]
+fn valid_inputs_flow_through_the_fallible_api() {
+    let net = demo_adder_gt();
+    let lut = LutLibrary::k6();
+    let result = mch::core::try_lut_flow_mch(&net, &lut, &MchConfig::lut_area())
+        .expect("a valid circuit must map");
+    assert!(result.verified);
+    assert!(!result.degradation.degraded());
+    let choices = mch::core::try_build_mch(&net, &MchConfig::balanced().mch)
+        .expect("a valid circuit must build choices");
+    assert!(choices.network().len() >= net.len());
+}
