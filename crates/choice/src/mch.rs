@@ -1,40 +1,47 @@
 //! Construction of mixed structural choice networks (Algorithms 1 and 2).
 //!
-//! # Plan/commit construction
+//! # Plan, claim, commit
 //!
 //! Both algorithms are organised as a **plan** half that computes detached
-//! *choice recipes* without touching the [`ChoiceNetwork`], and a **commit**
-//! half that replays recipes into it:
+//! *choice recipes* without touching the [`ChoiceNetwork`], a **claim** half
+//! that probes and reserves structural-hash buckets concurrently, and a
+//! **link** half that materialises the reservations in serial order:
 //!
 //! * Algorithm 1 (one-to-one mapping) plans one styled
 //!   [`GateRecipe`](crate::GateRecipe) template per (representation, gate
-//!   kind); the commit walks the gates in id order, binding each template to
-//!   the gate's mapped fanins. Planning here is O(1) — the phase is
-//!   dominated by its inherently serial structural-hash walk.
-//! * Algorithm 2 (multi-strategy resynthesis) is the expensive phase and the
-//!   one that parallelises: for every gate, workers classify the node, pull
-//!   its cuts, evaluate its MFFC function over dense reused scratch,
-//!   NPN-canonicalise each candidate function once, and synthesise missing
-//!   class representatives into worker-local caches
-//!   ([`NpnDatabase::plan`]-family); the coordinator commits the resulting
-//!   [`NpnPlan`]s strictly in node-id order, merging worker-local misses
-//!   into the shared database as it goes ([`NpnDatabase::commit`]).
+//!   kind). At `threads > 1` the original network is levelised and whole
+//!   levels of gates claim their styled emissions concurrently against the
+//!   batch's [`ShardedStrash`]; the coordinator then links the claim logs in
+//!   gate-id order — the serial emission order — so the formerly serial
+//!   strash walk reduces to an id-ordered replay of pre-resolved
+//!   reservations.
+//! * Algorithm 2 (multi-strategy resynthesis) fans out the expensive work:
+//!   for every gate, workers classify the node, pull its cuts, evaluate its
+//!   MFFC function over dense reused scratch, NPN-canonicalise each
+//!   candidate function once, synthesise missing class representatives into
+//!   worker-local caches ([`NpnDatabase::plan`]-family), and immediately
+//!   claim each planned structure against the shared table
+//!   ([`NpnDatabase::claim`]); the coordinator commits the resulting
+//!   [`NpnClaim`]s strictly in node-id order ([`NpnDatabase::commit_claim`]),
+//!   which links reservations instead of re-hashing every gate.
 //!
-//! Because every plan is a pure function of the *original* network and the
-//! commit order is fixed, the threaded construction is **byte-identical** to
-//! the serial one — same mixed network, same choice classes, same statistics
-//! (wall-times aside) — for every thread count. `threads = 1` fuses plan and
-//! commit per emission (no recipes are buffered), which also skips the
-//! planning the commit's early exit would discard.
+//! One commit batch (`Network::begin_commit_batch`) spans the whole build;
+//! because a strash bucket is reserved at most once per batch and links run
+//! in the exact serial emission order, node ids, network bytes, choice
+//! classes and statistics are **byte-identical** to the serial construction
+//! — same mixed network, same statistics (wall-times aside) — for every
+//! thread count. `threads = 1` keeps the fused serial path: plan and commit
+//! per emission, no batch, no claims.
 
 use crate::choice_network::ChoiceNetwork;
-use crate::npn_db::{NpnDatabase, NpnPlan, NpnPlanCache};
+use crate::npn_db::{NpnClaim, NpnDatabase, NpnPlan, NpnPlanCache};
 use crate::strategies::{GateRecipe, StrategyLibrary};
 use mch_cut::{
-    enumerate_cuts_threaded, Cut, CutCostModel, CutParams, NetworkCuts, WorkerPool,
+    enumerate_cuts_threaded, level_parallel, Cut, CutCostModel, CutParams, NetworkCuts, WorkerPool,
 };
 use mch_logic::{
-    critical_path_nodes, mffc, GateKind, Network, NetworkKind, NodeId, Signal, TruthTable,
+    critical_path_nodes, levelize, mffc, ClaimLog, GateKind, Network, NetworkKind, NodeId,
+    ShardedStrash, Signal, TruthTable,
 };
 use std::collections::HashSet;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -418,6 +425,44 @@ enum PlanResume {
 /// logic (which does not count toward the cap).
 const PLAN_EMIT_SLACK: usize = 1;
 
+/// A [`NodeRecipe`] whose plans have additionally been claimed against the
+/// batch's [`ShardedStrash`] on the planning worker: the strash probing — the
+/// bulk of the old serial commit — already happened concurrently, and the
+/// coordinator only links the reservations.
+struct NodeClaims {
+    id: NodeId,
+    critical: bool,
+    cut_claims: Vec<NpnClaim>,
+    mffc_claims: Vec<NpnClaim>,
+    resume: Option<PlanResume>,
+}
+
+/// Claims every plan of `recipe` against `table`, in plan order. Runs on the
+/// worker right after [`plan_node`], under the same database read guard, so
+/// [`NpnDatabase::claim`] always finds the class network it needs.
+fn claim_node(
+    db: &NpnDatabase,
+    table: &ShardedStrash,
+    scratch: &NpnPlanCache,
+    recipe: NodeRecipe,
+) -> NodeClaims {
+    NodeClaims {
+        id: recipe.id,
+        critical: recipe.critical,
+        cut_claims: recipe
+            .cut_plans
+            .into_iter()
+            .map(|p| db.claim(p, table, scratch))
+            .collect(),
+        mffc_claims: recipe
+            .mffc_plans
+            .into_iter()
+            .map(|p| db.claim(p, table, scratch))
+            .collect(),
+        resume: recipe.resume,
+    }
+}
+
 /// A cut worth resynthesising: non-trivial, at least three leaves, and a
 /// non-constant function (Algorithm 2's candidate filter).
 fn cut_qualifies(cut: &Cut) -> bool {
@@ -661,10 +706,11 @@ fn emit_serial_from(
     }
 }
 
-/// Commits one node's recipe: replay the budgeted plans in order until the
+/// Commits one node's claims: link the budgeted claims in order until the
 /// per-node candidate cap is reached; if they run dry with the cap unmet,
 /// continue with the fused serial loop from the recorded resume point.
-/// Exactly the emission sequence the serial path performs.
+/// Exactly the emission sequence the serial path performs — claims the cap
+/// discards leave only unlinked reservations, purged at batch end.
 #[allow(clippy::too_many_arguments)]
 fn commit_node(
     network: &Network,
@@ -675,17 +721,17 @@ fn commit_node(
     stats: &mut MchStats,
     scratch: &mut PlanScratch,
     commit_time: &mut Duration,
-    recipe: NodeRecipe,
+    recipe: NodeClaims,
 ) {
     mch_logic::failpoint!("npn::commit");
     let max = params.max_candidates_per_node;
     let mut added = 0usize;
-    for plan in recipe.cut_plans {
+    for claim in recipe.cut_claims {
         if added >= max {
             return;
         }
         let commit_start = Instant::now();
-        let sig = db.commit(cn.network_mut(), plan);
+        let sig = db.commit_claim(cn.network_mut(), claim);
         if cn.add_choice(recipe.id, sig) {
             added += 1;
             if recipe.critical {
@@ -697,12 +743,12 @@ fn commit_node(
         *commit_time += commit_start.elapsed();
     }
     if !recipe.critical && added < max {
-        for plan in recipe.mffc_plans {
+        for claim in recipe.mffc_claims {
             if added >= max {
                 return;
             }
             let commit_start = Instant::now();
-            let sig = db.commit(cn.network_mut(), plan);
+            let sig = db.commit_claim(cn.network_mut(), claim);
             if cn.add_choice(recipe.id, sig) {
                 added += 1;
                 stats.area_choices += 1;
@@ -783,13 +829,15 @@ fn resynthesis_serial(
 }
 
 /// The threaded schedule of Algorithm 2: workers pull id-ordered chunks of
-/// the gate list off an atomic cursor and plan recipes against the
-/// read-shared NPN database; the coordinator receives chunk results as they
-/// complete, buffers the out-of-order ones, and commits strictly in chunk
-/// (hence node-id) order while planning continues.
+/// the gate list off an atomic cursor, plan recipes against the read-shared
+/// NPN database and claim every planned structure against the batch's
+/// sharded strash; the coordinator receives chunk results as they complete,
+/// buffers the out-of-order ones, and links claims strictly in chunk (hence
+/// node-id) order while planning continues.
 #[allow(clippy::too_many_arguments)]
 fn resynthesis_threaded(
     ctx: &PlanCtx<'_>,
+    table: &ShardedStrash,
     gate_ids: &[NodeId],
     threads: usize,
     cn: &mut ChoiceNetwork,
@@ -804,7 +852,7 @@ fn resynthesis_threaded(
     let cursor = AtomicUsize::new(0);
     let cursor = &cursor;
     let (result_tx, result_rx) =
-        mpsc::channel::<(usize, std::thread::Result<Vec<NodeRecipe>>)>();
+        mpsc::channel::<(usize, std::thread::Result<Vec<NodeClaims>>)>();
     let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..threads)
         .map(|_| {
             let result_tx = result_tx.clone();
@@ -819,10 +867,13 @@ fn resynthesis_threaded(
                     let shard = &gate_ids[start..(start + chunk_size).min(gate_ids.len())];
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         let db = ctx.db.read().unwrap_or_else(PoisonError::into_inner);
-                        shard
-                            .iter()
-                            .filter_map(|&id| plan_node(ctx, &db, &mut scratch, id))
-                            .collect::<Vec<NodeRecipe>>()
+                        let mut claimed = Vec::with_capacity(shard.len());
+                        for &id in shard {
+                            if let Some(recipe) = plan_node(ctx, &db, &mut scratch, id) {
+                                claimed.push(claim_node(&db, table, &scratch.npn, recipe));
+                            }
+                        }
+                        claimed
                     }));
                     let died = result.is_err();
                     if result_tx.send((chunk, result)).is_err() || died {
@@ -834,7 +885,7 @@ fn resynthesis_threaded(
         .collect();
     drop(result_tx);
     WorkerPool::global().run_with(jobs, move || {
-        let mut buffered: Vec<Option<Vec<NodeRecipe>>> =
+        let mut buffered: Vec<Option<Vec<NodeClaims>>> =
             (0..chunk_count).map(|_| None).collect();
         let mut next_commit = 0usize;
         // The coordinator's own scratch — for the serial fallback when a
@@ -888,12 +939,14 @@ fn resynthesis_threaded(
                 let start = chunk * chunk_size;
                 let shard = &gate_ids[start..(start + chunk_size).min(gate_ids.len())];
                 let db = ctx.db.read().unwrap_or_else(PoisonError::into_inner);
-                let recipes = shard
-                    .iter()
-                    .filter_map(|&id| plan_node(ctx, &db, &mut scratch, id))
-                    .collect::<Vec<NodeRecipe>>();
+                let mut claimed = Vec::with_capacity(shard.len());
+                for &id in shard {
+                    if let Some(recipe) = plan_node(ctx, &db, &mut scratch, id) {
+                        claimed.push(claim_node(&db, table, &scratch.npn, recipe));
+                    }
+                }
                 drop(db);
-                buffered[chunk] = Some(recipes);
+                buffered[chunk] = Some(claimed);
             } else {
                 let (chunk, result) = result_rx
                     .recv()
@@ -906,6 +959,80 @@ fn resynthesis_threaded(
         }
         debug_assert_eq!(next_commit, chunk_count, "all chunks must commit");
     });
+}
+
+/// Smallest level width worth sharding across workers during the batched
+/// one-to-one mapping; narrower networks run the claim/link path serially
+/// inline (still byte-identical, see [`level_parallel`]).
+const ONE_TO_ONE_MIN_SHARD: usize = 16;
+
+/// The batched form of Algorithm 1's one-to-one mapping for one secondary
+/// representation: levelise the original network, claim whole levels of
+/// styled emissions concurrently against the batch's sharded strash, then
+/// link the claim logs in gate-id order — the serial emission order — so the
+/// committed network is byte-identical to the serial walk.
+///
+/// `map_rep` holds each original node's (possibly provisional) mapped claim
+/// signal; a gate's fanins live in strictly earlier levels, so the level
+/// barrier of [`level_parallel`] makes every read see a bound value.
+fn one_to_one_batched(
+    network: &Network,
+    kind: NetworkKind,
+    table: &ShardedStrash,
+    threads: usize,
+    cn: &mut ChoiceNetwork,
+    stats: &mut MchStats,
+) {
+    let templates = StyledTemplates::new(kind);
+    let levels = levelize(network);
+    let map_rep: RwLock<Vec<Signal>> = {
+        let mut m = vec![Signal::CONST0; network.len()];
+        for &pi in network.inputs() {
+            m[pi.index()] = pi.signal();
+        }
+        RwLock::new(m)
+    };
+    let mut claimed: Vec<(NodeId, Signal, ClaimLog)> = Vec::with_capacity(network.gate_count());
+    level_parallel(
+        levels.as_slices(),
+        threads,
+        ONE_TO_ONE_MIN_SHARD,
+        || (),
+        |_scratch, shard: &[NodeId]| {
+            let map = map_rep.read().unwrap_or_else(PoisonError::into_inner);
+            let mut out = Vec::with_capacity(shard.len());
+            let mut fanins = [Signal::CONST0; 3];
+            for &id in shard {
+                let node = network.node(id);
+                let arity = node.fanins().len();
+                for (slot, s) in fanins.iter_mut().zip(node.fanins()) {
+                    *slot = map[s.node().index()].xor_complement(s.is_complement());
+                }
+                let mut log = ClaimLog::new();
+                let sig = templates.of(node.kind()).claim(table, &fanins[..arity], &mut log);
+                out.push((id, sig, log));
+            }
+            out
+        },
+        |results| {
+            let mut map = map_rep.write().unwrap_or_else(PoisonError::into_inner);
+            for shard in results {
+                for (id, sig, log) in shard {
+                    map[id.index()] = sig;
+                    claimed.push((id, sig, log));
+                }
+            }
+        },
+    );
+    // Levels are level-major; links must replay the serial gate-id order.
+    claimed.sort_unstable_by_key(|&(id, _, _)| id);
+    for (id, out, log) in claimed {
+        cn.network_mut().link_claims(&log);
+        let sig = cn.network_mut().resolve_claim(out);
+        if cn.add_choice(id, sig) {
+            stats.representation_choices += 1;
+        }
+    }
 }
 
 /// Builds a mixed structural choice network (Algorithm 1).
@@ -931,32 +1058,46 @@ pub fn build_mch_with_stats(network: &Network, params: &MchParams) -> (ChoiceNet
     let mut stats = MchStats::default();
     let threads = params.threads.max(1);
 
+    // One commit batch spans the whole build: one-to-one claims and
+    // resynthesis claims share the sharded table, so a reservation made in
+    // either phase resolves consistently everywhere. Below the batch
+    // threshold the fused serial paths run against the plain strash.
+    let batched =
+        threads > 1 && network.gate_count() >= PLAN_MIN_BATCH && !WorkerPool::is_worker();
+    let table = batched.then(|| cn.network_mut().begin_commit_batch());
+
     // ------------------------------------------------------------------
     // Line 1: one-to-one mapping into each secondary representation. The
-    // styled templates are the (O(1)) plan; the walk is the commit — it is
-    // inherently serial because every emission feeds the structural hash
-    // that the next mapped fanin resolves against.
+    // styled templates are the (O(1)) plan; batched builds claim whole
+    // levels concurrently and link in gate-id order, serial builds walk
+    // the gates committing directly into the structural hash.
     // ------------------------------------------------------------------
     let phase_start = Instant::now();
-    for &kind in &params.secondary {
-        let templates = StyledTemplates::new(kind);
-        let mut map: Vec<Signal> = vec![Signal::CONST0; network.len()];
-        for &pi in network.inputs() {
-            map[pi.index()] = pi.signal();
+    if let Some(table) = &table {
+        for &kind in &params.secondary {
+            one_to_one_batched(network, kind, table, threads, &mut cn, &mut stats);
         }
-        let mut fanins = [Signal::CONST0; 3];
-        for id in network.gate_ids() {
-            let node = network.node(id);
-            let arity = node.fanins().len();
-            for (slot, s) in fanins.iter_mut().zip(node.fanins()) {
-                *slot = map[s.node().index()].xor_complement(s.is_complement());
+    } else {
+        for &kind in &params.secondary {
+            let templates = StyledTemplates::new(kind);
+            let mut map: Vec<Signal> = vec![Signal::CONST0; network.len()];
+            for &pi in network.inputs() {
+                map[pi.index()] = pi.signal();
             }
-            let sig = templates
-                .of(node.kind())
-                .commit(cn.network_mut(), &fanins[..arity]);
-            map[id.index()] = sig;
-            if cn.add_choice(id, sig) {
-                stats.representation_choices += 1;
+            let mut fanins = [Signal::CONST0; 3];
+            for id in network.gate_ids() {
+                let node = network.node(id);
+                let arity = node.fanins().len();
+                for (slot, s) in fanins.iter_mut().zip(node.fanins()) {
+                    *slot = map[s.node().index()].xor_complement(s.is_complement());
+                }
+                let sig = templates
+                    .of(node.kind())
+                    .commit(cn.network_mut(), &fanins[..arity]);
+                map[id.index()] = sig;
+                if cn.add_choice(id, sig) {
+                    stats.representation_choices += 1;
+                }
             }
         }
     }
@@ -984,7 +1125,7 @@ pub fn build_mch_with_stats(network: &Network, params: &MchParams) -> (ChoiceNet
     let mut commit_time = Duration::ZERO;
     let db = RwLock::new(NpnDatabase::new());
     let gate_ids: Vec<NodeId> = network.gate_ids().collect();
-    if threads > 1 && gate_ids.len() >= PLAN_MIN_BATCH && !WorkerPool::is_worker() {
+    if let Some(table) = &table {
         let ctx = PlanCtx {
             network,
             params,
@@ -992,7 +1133,15 @@ pub fn build_mch_with_stats(network: &Network, params: &MchParams) -> (ChoiceNet
             cuts: &cuts,
             db: &db,
         };
-        resynthesis_threaded(&ctx, &gate_ids, threads, &mut cn, &mut stats, &mut commit_time);
+        resynthesis_threaded(
+            &ctx,
+            table,
+            &gate_ids,
+            threads,
+            &mut cn,
+            &mut stats,
+            &mut commit_time,
+        );
     } else {
         let mut db = db.write().unwrap_or_else(PoisonError::into_inner);
         resynthesis_serial(
@@ -1005,6 +1154,10 @@ pub fn build_mch_with_stats(network: &Network, params: &MchParams) -> (ChoiceNet
             &mut stats,
             &mut commit_time,
         );
+    }
+    if batched {
+        drop(table);
+        cn.network_mut().end_commit_batch();
     }
     let db = db.into_inner().unwrap_or_else(PoisonError::into_inner);
     stats.npn_classes = db.len();

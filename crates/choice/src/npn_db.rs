@@ -27,10 +27,12 @@
 //! [`NpnDatabase::emit`] is the fused serial form: plan immediately followed
 //! by commit.
 
-use crate::strategies::{import_subnetwork, synthesize, SynthesisStrategy};
+use crate::strategies::{claim_subnetwork, import_subnetwork, synthesize, SynthesisStrategy};
 use mch_logic::{
-    npn_canonical, npn_semi_canonical, Network, NetworkKind, NpnCanonical, Signal, TruthTable,
+    npn_canonical, npn_semi_canonical, ClaimLog, Network, NetworkKind, NpnCanonical, ShardedStrash,
+    Signal, TruthTable,
 };
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// The key of one cached candidate structure: the NPN class representative
@@ -98,6 +100,20 @@ struct PlanClass {
     bound: Vec<Signal>,
     /// Whether the canonical output is complemented w.r.t. the function.
     output_neg: bool,
+}
+
+/// A plan whose structure has additionally been claimed against a
+/// [`ShardedStrash`] on a worker thread: the claim log plus the (possibly
+/// provisional) output signal, carried together with the plan so the
+/// coordinator can still do the cache bookkeeping.
+///
+/// Produced by [`NpnDatabase::claim`]; resolved into a network by
+/// [`NpnDatabase::commit_claim`].
+#[derive(Clone, Debug)]
+pub struct NpnClaim {
+    plan: NpnPlan,
+    log: ClaimLog,
+    out: Signal,
 }
 
 /// Cache of synthesised canonical structures keyed by NPN class.
@@ -251,6 +267,61 @@ impl NpnDatabase {
                 let canonical_net = self.cache.get(&key).expect("class just ensured");
                 let out = import_subnetwork(target, canonical_net, &bound);
                 out.xor_complement(output_neg)
+            }
+        }
+    }
+
+    /// Claims a plan's structure against `table` on a worker thread, probing
+    /// and reserving strash buckets instead of mutating the target network.
+    ///
+    /// The class network is resolved read-only: from the plan itself (first
+    /// local encounter), else from the worker's `scratch`, else from the
+    /// shared database — by [`plan`](NpnDatabase::plan)'s contract one of the
+    /// three always holds it. No statistics are counted here; hit/miss
+    /// bookkeeping happens in [`commit_claim`](NpnDatabase::commit_claim), in
+    /// commit order, exactly as in the unclaimed path.
+    pub fn claim(&self, plan: NpnPlan, table: &ShardedStrash, scratch: &NpnPlanCache) -> NpnClaim {
+        let mut log = ClaimLog::new();
+        let out = match &plan.kind {
+            PlanKind::Constant(sig) => *sig,
+            PlanKind::Class(class) => {
+                let net = class
+                    .synthesized
+                    .as_ref()
+                    .or_else(|| scratch.synthesized.get(&class.key))
+                    .or_else(|| self.cache.get(&class.key))
+                    .expect("planned class present in plan, scratch or shared cache");
+                let raw = claim_subnetwork(table, net, &class.bound, &mut log);
+                raw.xor_complement(class.output_neg)
+            }
+        };
+        NpnClaim { plan, log, out }
+    }
+
+    /// The claim-side twin of [`commit`](NpnDatabase::commit): does the same
+    /// cache bookkeeping, then links the claim's reservations into `target`
+    /// and returns the resolved output signal.
+    ///
+    /// `target` must be inside the commit batch the claim was made against.
+    pub fn commit_claim(&mut self, target: &mut Network, claim: NpnClaim) -> Signal {
+        let NpnClaim { plan, log, out } = claim;
+        match plan.kind {
+            PlanKind::Constant(sig) => sig,
+            PlanKind::Class(class) => {
+                let PlanClass {
+                    key, synthesized, ..
+                } = *class;
+                match self.cache.entry(key) {
+                    Entry::Vacant(slot) => {
+                        let key = slot.key();
+                        let net = synthesized.unwrap_or_else(|| synthesize(&key.0, key.2, key.1));
+                        slot.insert(net);
+                        self.misses += 1;
+                    }
+                    Entry::Occupied(_) => self.hits += 1,
+                }
+                target.link_claims(&log);
+                target.resolve_claim(out)
             }
         }
     }
@@ -453,6 +524,69 @@ mod tests {
         assert_eq!(serial_db.misses(), planned_db.misses());
         assert_eq!(serial_db.len(), planned_db.len());
         assert!(!scratch_a.is_empty() || !scratch_b.is_empty());
+    }
+
+    #[test]
+    fn claimed_and_fused_emission_build_identical_networks() {
+        // plan → claim (worker) → commit_claim (coordinator) against a
+        // batched host must match the fused serial emit byte for byte:
+        // networks, signals, statistics.
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        let funcs = [
+            a.and(&b).or(&c),
+            a.xor(&b).and(&c),
+            a.and(&b).or(&c), // repeat: hit, and a pure strash replay
+            TruthTable::maj(&a, &b, &c).not(),
+            TruthTable::zeros(3), // constant: bypasses cache and strash
+        ];
+
+        let mut serial_db = NpnDatabase::new();
+        let mut serial_host = Network::new(NetworkKind::Mixed);
+        let leaves = serial_host.add_inputs(3);
+        let serial_sigs: Vec<Signal> = funcs
+            .iter()
+            .map(|f| {
+                serial_db.emit(
+                    &mut serial_host,
+                    f,
+                    &leaves,
+                    NetworkKind::Xag,
+                    SynthesisStrategy::Decompose,
+                )
+            })
+            .collect();
+
+        let mut claimed_db = NpnDatabase::new();
+        let mut claimed_host = Network::new(NetworkKind::Mixed);
+        let leaves2 = claimed_host.add_inputs(3);
+        let table = claimed_host.begin_commit_batch();
+        let mut scratch = NpnPlanCache::new();
+        let claims: Vec<NpnClaim> = funcs
+            .iter()
+            .map(|f| {
+                let plan = claimed_db.plan(
+                    f,
+                    &leaves2,
+                    NetworkKind::Xag,
+                    SynthesisStrategy::Decompose,
+                    &mut scratch,
+                );
+                claimed_db.claim(plan, &table, &scratch)
+            })
+            .collect();
+        let claimed_sigs: Vec<Signal> = claims
+            .into_iter()
+            .map(|cl| claimed_db.commit_claim(&mut claimed_host, cl))
+            .collect();
+        claimed_host.end_commit_batch();
+
+        assert_eq!(serial_sigs, claimed_sigs);
+        assert_eq!(serial_host, claimed_host);
+        assert_eq!(serial_db.hits(), claimed_db.hits());
+        assert_eq!(serial_db.misses(), claimed_db.misses());
+        assert_eq!(serial_db.len(), claimed_db.len());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::dsd::emit_decomposed;
 use crate::sop::{emit_factored, isop};
-use mch_logic::{GateKind, Network, NetworkKind, Signal, TruthTable};
+use mch_logic::{ClaimLog, GateKind, Network, NetworkKind, ShardedStrash, Signal, TruthTable};
 
 /// How a candidate function is re-synthesised.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -246,6 +246,53 @@ impl GateRecipe {
         }
         resolve(self.out, leaves, &emitted)
     }
+
+    /// The claim-side twin of [`commit`](GateRecipe::commit): replays the
+    /// recorded call sequence against a [`ShardedStrash`] instead of a
+    /// network, for worker threads participating in a commit batch.
+    ///
+    /// The returned signal may be provisional; together with `log` it is
+    /// resolved by the coordinator through `Network::link_claims` /
+    /// `Network::resolve_claim`. Because the claim builders apply the same
+    /// folds as the network builders, linking in serial order reproduces
+    /// [`commit`](GateRecipe::commit)'s effect byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves.len()` differs from [`arity`](GateRecipe::arity).
+    pub fn claim(&self, table: &ShardedStrash, leaves: &[Signal], log: &mut ClaimLog) -> Signal {
+        assert_eq!(leaves.len(), self.arity, "one signal per leaf slot");
+        let mut emitted: Vec<Signal> = Vec::with_capacity(self.ops.len());
+        for &(kind, refs) in &self.ops {
+            let sig = match kind {
+                GateKind::And2 => {
+                    let (a, b) = (
+                        resolve(refs[0], leaves, &emitted),
+                        resolve(refs[1], leaves, &emitted),
+                    );
+                    table.claim_and2(a, b, log)
+                }
+                GateKind::Xor2 => {
+                    let (a, b) = (
+                        resolve(refs[0], leaves, &emitted),
+                        resolve(refs[1], leaves, &emitted),
+                    );
+                    table.claim_xor2(a, b, log)
+                }
+                GateKind::Maj3 => {
+                    let (a, b, c) = (
+                        resolve(refs[0], leaves, &emitted),
+                        resolve(refs[1], leaves, &emitted),
+                        resolve(refs[2], leaves, &emitted),
+                    );
+                    table.claim_maj3(a, b, c, log)
+                }
+                _ => unreachable!("recipes record only logic-gate calls"),
+            };
+            emitted.push(sig);
+        }
+        resolve(self.out, leaves, &emitted)
+    }
 }
 
 fn resolve(r: RecipeRef, leaves: &[Signal], emitted: &[Signal]) -> Signal {
@@ -358,6 +405,52 @@ pub fn import_subnetwork(target: &mut Network, sub: &Network, leaves: &[Signal])
             GateKind::And2 => target.and2(f[0], f[1]),
             GateKind::Xor2 => target.xor2(f[0], f[1]),
             GateKind::Maj3 => target.maj3(f[0], f[1], f[2]),
+            _ => unreachable!("gate_ids yields only gates"),
+        };
+    }
+    let out = sub.output(0);
+    map[out.node().index()].xor_complement(out.is_complement())
+}
+
+/// The claim-side twin of [`import_subnetwork`]: replays the copy against a
+/// [`ShardedStrash`] so worker threads can probe and reserve nodes without
+/// touching the target network.
+///
+/// The returned signal may be provisional; the coordinator resolves it (and
+/// materialises any reserved nodes) by linking `log` through
+/// `Network::link_claims` in serial order.
+///
+/// # Panics
+///
+/// Panics if `sub` does not have exactly one output or if the number of
+/// leaves differs from its input count.
+pub fn claim_subnetwork(
+    table: &ShardedStrash,
+    sub: &Network,
+    leaves: &[Signal],
+    log: &mut ClaimLog,
+) -> Signal {
+    assert_eq!(sub.output_count(), 1, "candidate sub-networks have one output");
+    assert_eq!(
+        leaves.len(),
+        sub.input_count(),
+        "one leaf signal per sub-network input required"
+    );
+    let mut map: Vec<Signal> = vec![Signal::CONST0; sub.len()];
+    for (i, &pi) in sub.inputs().iter().enumerate() {
+        map[pi.index()] = leaves[i];
+    }
+    for id in sub.gate_ids() {
+        let node = sub.node(id);
+        let f: Vec<Signal> = node
+            .fanins()
+            .iter()
+            .map(|s| map[s.node().index()].xor_complement(s.is_complement()))
+            .collect();
+        map[id.index()] = match node.kind() {
+            GateKind::And2 => table.claim_and2(f[0], f[1], log),
+            GateKind::Xor2 => table.claim_xor2(f[0], f[1], log),
+            GateKind::Maj3 => table.claim_maj3(f[0], f[1], f[2], log),
             _ => unreachable!("gate_ids yields only gates"),
         };
     }
@@ -519,6 +612,93 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn claimed_recipes_link_to_the_committed_emission() {
+        // claim + link must reproduce commit byte for byte: same output
+        // signal, same nodes, same strash — for every template and binding,
+        // including the fold- and dedup-triggering ones.
+        let kinds = [
+            NetworkKind::Aig,
+            NetworkKind::Xag,
+            NetworkKind::Mig,
+            NetworkKind::Xmg,
+            NetworkKind::Mixed,
+        ];
+        for kind in kinds {
+            for gate in [GateKind::And2, GateKind::Xor2, GateKind::Maj3] {
+                let template = GateRecipe::styled(kind, gate);
+                let host = {
+                    let mut h = Network::new(NetworkKind::Mixed);
+                    h.add_inputs(3);
+                    h
+                };
+                let xs: Vec<Signal> = host.inputs().iter().map(|n| n.signal()).collect();
+                let bindings: Vec<Vec<Signal>> = vec![
+                    vec![xs[0], xs[1], xs[2]],
+                    vec![!xs[0], xs[1], !xs[2]],
+                    vec![xs[0], xs[0], xs[1]],
+                    vec![xs[0], !xs[0], xs[1]],
+                    vec![Signal::CONST0, xs[1], xs[2]],
+                    vec![Signal::CONST1, !xs[1], xs[0]],
+                ];
+                for binding in &bindings {
+                    let fanins = &binding[..gate.arity()];
+                    let mut direct = host.clone();
+                    let mut linked = host.clone();
+                    let want = template.commit(&mut direct, fanins);
+
+                    let table = linked.begin_commit_batch();
+                    let mut log = ClaimLog::new();
+                    let out = template.claim(&table, fanins, &mut log);
+                    linked.link_claims(&log);
+                    let got = linked.resolve_claim(out);
+                    linked.end_commit_batch();
+
+                    assert_eq!(want, got, "{kind:?} {gate:?} signal diverged");
+                    assert_eq!(direct, linked, "{kind:?} {gate:?} network diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn claimed_subnetworks_link_to_the_imported_emission() {
+        let f = sample_function();
+        let sub = synthesize(&f, NetworkKind::Xmg, SynthesisStrategy::Decompose);
+
+        let host = {
+            let mut h = Network::new(NetworkKind::Mixed);
+            h.add_inputs(4);
+            h
+        };
+        let xs: Vec<Signal> = host.inputs().iter().map(|n| n.signal()).collect();
+        let leaves = vec![!xs[3], xs[2], xs[1], xs[0]];
+
+        let mut direct = host.clone();
+        let want = import_subnetwork(&mut direct, &sub, &leaves);
+        // A second import is a pure strash replay and must not grow the net.
+        let want_again = import_subnetwork(&mut direct, &sub, &leaves);
+        assert_eq!(want, want_again);
+
+        let mut linked = host.clone();
+        let table = linked.begin_commit_batch();
+        let mut log = ClaimLog::new();
+        let out = claim_subnetwork(&table, &sub, &leaves, &mut log);
+        linked.link_claims(&log);
+        let got = linked.resolve_claim(out);
+        // Second claim: every probe hits the just-linked reservations, so the
+        // resolved signal matches and linking its log is a no-op.
+        let mut log2 = ClaimLog::new();
+        let out2 = claim_subnetwork(&table, &sub, &leaves, &mut log2);
+        linked.link_claims(&log2);
+        let got2 = linked.resolve_claim(out2);
+        linked.end_commit_batch();
+
+        assert_eq!(want, got, "claimed sub-network output diverged");
+        assert_eq!(got, got2, "repeated claim resolved differently");
+        assert_eq!(direct, linked, "claimed sub-network host diverged");
     }
 
     #[test]

@@ -28,7 +28,7 @@ impl NodeId {
 
     /// Creates a node id from a raw index.
     #[inline]
-    pub fn from_index(index: usize) -> Self {
+    pub const fn from_index(index: usize) -> Self {
         NodeId(index as u32)
     }
 

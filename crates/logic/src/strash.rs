@@ -1,0 +1,647 @@
+//! Lock-striped concurrent structural hashing for parallel choice commit.
+//!
+//! The serial [`Network`](crate::Network) deduplicates gates through a single
+//! `HashMap<(GateKind, [Signal; 3]), NodeId>` — a shared-state walk that
+//! forces every gate emission through one thread. [`ShardedStrash`] shards
+//! that table into lock-striped buckets so many workers can *claim* gates
+//! concurrently while a coordinator *links* them into the node vector in a
+//! fixed serial order.
+//!
+//! # The reserve-then-link protocol
+//!
+//! A commit batch proceeds in two passes:
+//!
+//! 1. **Claim (workers, concurrent).** A worker emits a candidate cone by
+//!    replaying its gates through [`ShardedStrash::claim_and2`] /
+//!    [`claim_xor2`](ShardedStrash::claim_xor2) /
+//!    [`claim_maj3`](ShardedStrash::claim_maj3). Each claim locks exactly one
+//!    shard, applies the same Boolean folds as the serial builders and either
+//!    hits a committed node, joins an existing *reservation*, or reserves a
+//!    fresh **provisional id** from an atomic cursor. Every provisional
+//!    outcome appends a [`ClaimLog`] record so that *any* log containing the
+//!    reservation can later materialise the node.
+//! 2. **Link (coordinator, serial order).** The coordinator replays claim
+//!    logs in exactly the order the serial construction would have emitted
+//!    them (`Network::link_claims`). The first record touching a reservation
+//!    creates the node — at precisely the node id the serial walk would have
+//!    assigned — and every later record resolves to it.
+//!
+//! # Why the output stays canonical
+//!
+//! * A bucket entry makes at most **one transition** per batch
+//!   (vacant → reserved, or vacant → committed): reservations are never
+//!   overwritten while the batch runs. Every claimant of a key therefore
+//!   observes the *same* representation for the life of the batch, so the
+//!   equality and complement checks inside the Boolean folds decide exactly
+//!   as the serial builders would on the final signals.
+//! * Claim keys are canonicalized by sorting fanins on their (provisional or
+//!   concrete) literals, which is representation-consistent within a batch;
+//!   the link pass re-sorts on **final** literals before storing the node, so
+//!   the stored fanin order is byte-identical to the serial layout.
+//! * Node ids are assigned only by the link pass, in serial emission order,
+//!   so the committed node vector — ids, fanin order, levels, fanout counts —
+//!   matches the serial build byte for byte at every thread count.
+//!
+//! Provisional ids never escape a batch: they live above
+//! [`ShardedStrash::PROVISIONAL_BASE`] in the node-index space and are
+//! resolved (or discarded, for candidates a budget cap rejected) before
+//! `Network::end_commit_batch` folds the surviving buckets back into the
+//! plain serial table.
+
+use crate::{GateKind, NodeId, Signal};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The canonical structural-hash key: a gate kind plus its normalized fanins
+/// (unused fanin slots padded with constant-false).
+pub type StrashKey = (GateKind, [Signal; 3]);
+
+/// A bucket entry: either a node that exists in the network, or a
+/// reservation that the link pass has yet to materialise.
+#[derive(Copy, Clone, Debug)]
+pub(crate) enum Slot {
+    /// The key resolved to a real node.
+    Committed(NodeId),
+    /// The key is claimed under the given provisional index.
+    Reserved(u32),
+}
+
+/// An entry of a [`ClaimLog`]: one reservation this claim sequence depends
+/// on, with the canonical claim-representation fanins that describe how to
+/// build the node.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct ClaimRecord {
+    pub(crate) provisional: u32,
+    pub(crate) kind: GateKind,
+    pub(crate) fanins: [Signal; 3],
+}
+
+/// The ordered reservation trail of one claim-side emission.
+///
+/// Workers thread a log through their [`ShardedStrash::claim_and2`]-family
+/// calls; the coordinator later replays it with `Network::link_claims`.
+/// Records appear in emission order, and a record's provisional fanins are
+/// always resolved by earlier records of the same log (or by logs linked
+/// earlier), so a single in-order replay suffices.
+#[derive(Clone, Debug, Default)]
+pub struct ClaimLog {
+    pub(crate) records: Vec<ClaimRecord>,
+}
+
+impl ClaimLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ClaimLog::default()
+    }
+
+    /// Number of reservation records in the log.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if no claim in this log reserved a provisional node.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Forgets all records, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+/// Number of lock stripes. A power of two so shard selection is a mask; 64
+/// stripes keep contention negligible for every realistic worker count while
+/// the per-table footprint stays small.
+const SHARD_COUNT: usize = 64;
+
+/// splitmix64 finalizer — a cheap, high-quality bit mixer used for shard
+/// selection (deliberately independent of the per-shard `HashMap` hasher).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn key_hash(kind: GateKind, fanins: &[Signal; 3]) -> u64 {
+    let tag: u64 = match kind {
+        GateKind::Const => 0,
+        GateKind::Input => 1,
+        GateKind::And2 => 2,
+        GateKind::Xor2 => 3,
+        GateKind::Maj3 => 4,
+    };
+    let mut h = mix(tag);
+    for s in fanins {
+        h = mix(h ^ u64::from(s.literal()));
+    }
+    h
+}
+
+/// A lock-striped concurrent structural-hash table (see the module docs for
+/// the reserve-then-link protocol it implements).
+///
+/// All lock acquisitions recover from poisoning: a worker that dies inside a
+/// claim (e.g. under fault injection) leaves its shard usable for everyone
+/// else, so a poisoned shard can never deadlock the batch.
+pub struct ShardedStrash {
+    shards: Box<[Mutex<HashMap<StrashKey, Slot>>]>,
+    cursor: AtomicU32,
+}
+
+impl ShardedStrash {
+    /// First node index used for provisional ids. Real node ids stay below
+    /// this (the [`Signal`] literal packing bounds indices to `2^31`, and a
+    /// batch may reserve up to `2^30` provisionals above the base).
+    pub const PROVISIONAL_BASE: u32 = 1 << 30;
+
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ShardedStrash::from_map(HashMap::new())
+    }
+
+    /// Builds the table from a serial strash map (all entries committed).
+    pub(crate) fn from_map(map: HashMap<StrashKey, NodeId>) -> Self {
+        let mut shards: Vec<HashMap<StrashKey, Slot>> =
+            (0..SHARD_COUNT).map(|_| HashMap::new()).collect();
+        for ((kind, fanins), id) in map {
+            shards[Self::shard_of(kind, &fanins)].insert((kind, fanins), Slot::Committed(id));
+        }
+        ShardedStrash {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            cursor: AtomicU32::new(0),
+        }
+    }
+
+    /// Number of lock stripes the table is split into.
+    pub fn shard_count() -> usize {
+        SHARD_COUNT
+    }
+
+    /// The stripe a canonical key lives in. Deterministic (an internal
+    /// splitmix-style mix over kind and fanin literals, independent of the
+    /// std `HashMap` hasher), which lets tests build adversarial key sets
+    /// that all collide into a single bucket.
+    pub fn shard_of(kind: GateKind, fanins: &[Signal; 3]) -> usize {
+        (key_hash(kind, fanins) as usize) & (SHARD_COUNT - 1)
+    }
+
+    /// Returns `true` if `signal` points at a provisional (reserved, not yet
+    /// linked) node rather than a real one.
+    pub fn is_provisional(signal: Signal) -> bool {
+        signal.node().index() >= Self::PROVISIONAL_BASE as usize
+    }
+
+    pub(crate) fn provisional_index(signal: Signal) -> u32 {
+        debug_assert!(Self::is_provisional(signal));
+        signal.node().index() as u32 - Self::PROVISIONAL_BASE
+    }
+
+    fn provisional_signal(index: u32) -> Signal {
+        Signal::new(
+            NodeId::from_index((Self::PROVISIONAL_BASE + index) as usize),
+            false,
+        )
+    }
+
+    /// Locks the stripe holding `key`-shaped entries, recovering from
+    /// poisoning.
+    pub(crate) fn lock_shard(
+        &self,
+        kind: GateKind,
+        fanins: &[Signal; 3],
+    ) -> MutexGuard<'_, HashMap<StrashKey, Slot>> {
+        self.shards[Self::shard_of(kind, fanins)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Total number of committed entries (locks every shard; diagnostic use).
+    pub fn committed_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values()
+                    .filter(|v| matches!(v, Slot::Committed(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Drains every committed entry back into a serial strash map, dropping
+    /// all remaining reservations. Called when a commit batch ends.
+    pub(crate) fn drain_committed(&self) -> HashMap<StrashKey, NodeId> {
+        let mut out = HashMap::new();
+        for shard in self.shards.iter() {
+            let mut map = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for (key, slot) in map.drain() {
+                if let Slot::Committed(id) = slot {
+                    out.insert(key, id);
+                }
+            }
+        }
+        out
+    }
+
+    /// Snapshot of the committed entries without draining (used by
+    /// `Network::clone` while no batch is active, and by tests).
+    pub(crate) fn committed_snapshot(&self) -> HashMap<StrashKey, NodeId> {
+        let mut out = HashMap::new();
+        for shard in self.shards.iter() {
+            let map = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for (key, slot) in map.iter() {
+                if let Slot::Committed(id) = slot {
+                    out.insert(*key, *id);
+                }
+            }
+        }
+        out
+    }
+
+    /// The core claim: probe-or-reserve one canonical key under its shard
+    /// lock. `fanins` must already be normalized (folds applied, sorted).
+    fn claim_gate(&self, kind: GateKind, fanins: [Signal; 3], log: &mut ClaimLog) -> Signal {
+        let mut shard = self.lock_shard(kind, &fanins);
+        // Deliberately inside the critical section: an injected panic here
+        // poisons the shard, which is exactly the failure mode the chaos
+        // suite must prove harmless.
+        crate::failpoint!("strash::shard_claim");
+        match shard.entry((kind, fanins)) {
+            std::collections::hash_map::Entry::Occupied(e) => match *e.get() {
+                Slot::Committed(id) => id.signal(),
+                Slot::Reserved(p) => {
+                    log.records.push(ClaimRecord {
+                        provisional: p,
+                        kind,
+                        fanins,
+                    });
+                    Self::provisional_signal(p)
+                }
+            },
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let p = self.cursor.fetch_add(1, Ordering::Relaxed);
+                assert!(
+                    p < Self::PROVISIONAL_BASE,
+                    "commit batch exhausted the provisional id space"
+                );
+                v.insert(Slot::Reserved(p));
+                log.records.push(ClaimRecord {
+                    provisional: p,
+                    kind,
+                    fanins,
+                });
+                Self::provisional_signal(p)
+            }
+        }
+    }
+
+    /// Claims a two-input AND. Applies exactly the Boolean folds of
+    /// [`Network::and2`](crate::Network::and2); the fanins may be concrete
+    /// signals or provisional results of earlier claims.
+    pub fn claim_and2(&self, a: Signal, b: Signal, log: &mut ClaimLog) -> Signal {
+        if a == b {
+            return a;
+        }
+        if a == !b || a.is_const0() || b.is_const0() {
+            return Signal::CONST0;
+        }
+        if a.is_const1() {
+            return b;
+        }
+        if b.is_const1() {
+            return a;
+        }
+        let (a, b) = if a.literal() <= b.literal() { (a, b) } else { (b, a) };
+        self.claim_gate(GateKind::And2, [a, b, Signal::CONST0], log)
+    }
+
+    /// Claims a two-input XOR, normalizing complemented fanins onto the
+    /// output edge exactly like [`Network::xor2`](crate::Network::xor2).
+    pub fn claim_xor2(&self, a: Signal, b: Signal, log: &mut ClaimLog) -> Signal {
+        if a == b {
+            return Signal::CONST0;
+        }
+        if a == !b {
+            return Signal::CONST1;
+        }
+        if a.is_const0() {
+            return b;
+        }
+        if a.is_const1() {
+            return !b;
+        }
+        if b.is_const0() {
+            return a;
+        }
+        if b.is_const1() {
+            return !a;
+        }
+        let out_compl = a.is_complement() ^ b.is_complement();
+        let (a, b) = (a.abs(), b.abs());
+        let (a, b) = if a.literal() <= b.literal() { (a, b) } else { (b, a) };
+        self.claim_gate(GateKind::Xor2, [a, b, Signal::CONST0], log)
+            .xor_complement(out_compl)
+    }
+
+    /// Claims a three-input majority with the self-duality normalization of
+    /// [`Network::maj3`](crate::Network::maj3).
+    pub fn claim_maj3(&self, a: Signal, b: Signal, c: Signal, log: &mut ClaimLog) -> Signal {
+        if a == b || a == c {
+            return a;
+        }
+        if b == c {
+            return b;
+        }
+        if a == !b {
+            return c;
+        }
+        if a == !c {
+            return b;
+        }
+        if b == !c {
+            return a;
+        }
+        let mut fanins = [a, b, c];
+        let complemented = fanins.iter().filter(|s| s.is_complement()).count();
+        let out_compl = complemented >= 2;
+        if out_compl {
+            for f in &mut fanins {
+                *f = !*f;
+            }
+        }
+        fanins.sort_by_key(|s| s.literal());
+        self.claim_gate(GateKind::Maj3, fanins, log)
+            .xor_complement(out_compl)
+    }
+}
+
+impl Default for ShardedStrash {
+    fn default() -> Self {
+        ShardedStrash::new()
+    }
+}
+
+impl std::fmt::Debug for ShardedStrash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStrash")
+            .field("shards", &SHARD_COUNT)
+            .field("reserved_cursor", &self.cursor.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Network, NetworkKind, Prng};
+    use std::sync::Arc;
+
+    /// One random gate request over a pool of available signals.
+    #[derive(Copy, Clone, Debug)]
+    enum Op {
+        And(usize, usize, bool, bool),
+        Xor(usize, usize, bool, bool),
+        Maj(usize, usize, usize, bool, bool, bool),
+    }
+
+    fn random_ops(seed: u64, inputs: usize, count: usize) -> Vec<Op> {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut ops = Vec::with_capacity(count);
+        for avail in inputs..inputs + count {
+            let pick = |rng: &mut Prng, n: usize| (rng.next_u64() as usize) % n;
+            let a = pick(&mut rng, avail);
+            let b = pick(&mut rng, avail);
+            let ca = rng.next_u64() & 1 == 0;
+            let cb = rng.next_u64() & 1 == 0;
+            let op = match rng.next_u64() % 3 {
+                0 => Op::And(a, b, ca, cb),
+                1 => Op::Xor(a, b, ca, cb),
+                _ => {
+                    let c = pick(&mut rng, avail);
+                    Op::Maj(a, b, c, ca, cb, rng.next_u64() & 1 == 0)
+                }
+            };
+            ops.push(op);
+        }
+        ops
+    }
+
+    /// Serial reference: replay the stream through a plain network.
+    fn replay_serial(net: &mut Network, pis: &[Signal], ops: &[Op]) -> Vec<Signal> {
+        let mut sigs: Vec<Signal> = pis.to_vec();
+        for &op in ops {
+            let s = match op {
+                Op::And(a, b, ca, cb) => {
+                    net.and2(sigs[a].xor_complement(ca), sigs[b].xor_complement(cb))
+                }
+                Op::Xor(a, b, ca, cb) => {
+                    net.xor2(sigs[a].xor_complement(ca), sigs[b].xor_complement(cb))
+                }
+                Op::Maj(a, b, c, ca, cb, cc) => net.maj3(
+                    sigs[a].xor_complement(ca),
+                    sigs[b].xor_complement(cb),
+                    sigs[c].xor_complement(cc),
+                ),
+            };
+            sigs.push(s);
+        }
+        sigs
+    }
+
+    /// Claim-side replay against a sharded table.
+    fn replay_claims(
+        table: &ShardedStrash,
+        pis: &[Signal],
+        ops: &[Op],
+        log: &mut ClaimLog,
+    ) -> Vec<Signal> {
+        let mut sigs: Vec<Signal> = pis.to_vec();
+        for &op in ops {
+            let s = match op {
+                Op::And(a, b, ca, cb) => table.claim_and2(
+                    sigs[a].xor_complement(ca),
+                    sigs[b].xor_complement(cb),
+                    log,
+                ),
+                Op::Xor(a, b, ca, cb) => table.claim_xor2(
+                    sigs[a].xor_complement(ca),
+                    sigs[b].xor_complement(cb),
+                    log,
+                ),
+                Op::Maj(a, b, c, ca, cb, cc) => table.claim_maj3(
+                    sigs[a].xor_complement(ca),
+                    sigs[b].xor_complement(cb),
+                    sigs[c].xor_complement(cc),
+                    log,
+                ),
+            };
+            sigs.push(s);
+        }
+        sigs
+    }
+
+    fn fresh(inputs: usize) -> (Network, Vec<Signal>) {
+        let mut net = Network::new(NetworkKind::Mixed);
+        let pis = net.add_inputs(inputs);
+        (net, pis)
+    }
+
+    /// Property: over seeded random gate streams, claim + link deduplicates
+    /// identically to the serial HashMap strash — same per-op hit decisions
+    /// (observable as identical result signals) and same node count.
+    #[test]
+    fn claims_deduplicate_identically_to_serial_strash() {
+        for seed in 0..24 {
+            let inputs = 3 + (seed as usize % 6);
+            let ops = random_ops(0x5712A5 + seed, inputs, 120);
+
+            let (mut serial, pis) = fresh(inputs);
+            let serial_sigs = replay_serial(&mut serial, &pis, &ops);
+
+            let (mut claimed, pis2) = fresh(inputs);
+            assert_eq!(pis, pis2);
+            let table = claimed.begin_commit_batch();
+            let mut log = ClaimLog::new();
+            let claim_sigs = replay_claims(&table, &pis, &ops, &mut log);
+            claimed.link_claims(&log);
+            let resolved: Vec<Signal> =
+                claim_sigs.iter().map(|&s| claimed.resolve_claim(s)).collect();
+            claimed.end_commit_batch();
+
+            assert_eq!(resolved, serial_sigs, "seed {seed}");
+            assert_eq!(claimed.len(), serial.len(), "seed {seed}");
+            assert_eq!(claimed, serial, "seed {seed}");
+        }
+    }
+
+    /// Forced-collision generator: keys crafted to funnel into one bucket
+    /// still deduplicate and link exactly like the serial walk.
+    #[test]
+    fn colliding_keys_share_one_bucket_and_still_dedup() {
+        let inputs = 24;
+        let (mut serial, pis) = fresh(inputs);
+
+        // Gather AND pairs whose canonical keys all land in bucket 0.
+        let mut pairs: Vec<(Signal, Signal)> = Vec::new();
+        for i in 0..inputs {
+            for j in (i + 1)..inputs {
+                let (a, b) = (pis[i], pis[j]);
+                if ShardedStrash::shard_of(GateKind::And2, &[a, b, Signal::CONST0]) == 0 {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        assert!(
+            pairs.len() >= 4,
+            "generator found only {} colliding keys",
+            pairs.len()
+        );
+
+        // Serial reference, with each pair emitted twice (the repeat hits).
+        let mut serial_sigs = Vec::new();
+        for &(a, b) in &pairs {
+            serial_sigs.push(serial.and2(a, b));
+            serial_sigs.push(serial.and2(b, a));
+        }
+
+        let (mut claimed, _) = fresh(inputs);
+        let table = claimed.begin_commit_batch();
+        let mut log = ClaimLog::new();
+        let mut claim_sigs = Vec::new();
+        for &(a, b) in &pairs {
+            claim_sigs.push(table.claim_and2(a, b, &mut log));
+            claim_sigs.push(table.claim_and2(b, a, &mut log));
+        }
+        // Each distinct pair reserved once and hit once: two records per pair.
+        assert_eq!(log.len(), pairs.len() * 2);
+        claimed.link_claims(&log);
+        let resolved: Vec<Signal> =
+            claim_sigs.iter().map(|&s| claimed.resolve_claim(s)).collect();
+        claimed.end_commit_batch();
+
+        assert_eq!(resolved, serial_sigs);
+        assert_eq!(claimed, serial);
+    }
+
+    /// Concurrency stress: many threads claim overlapping random streams
+    /// (including adversarially colliding keys); links replayed in a fixed
+    /// order produce the serial network regardless of interleaving.
+    #[test]
+    fn concurrent_claims_link_to_the_serial_network() {
+        let inputs = 8;
+        let streams: Vec<Vec<Op>> = (0..8)
+            .map(|i| random_ops(0xC0111D + (i / 2), inputs, 80))
+            .collect();
+
+        // Serial reference: streams replayed in order.
+        let (mut serial, pis) = fresh(inputs);
+        for ops in &streams {
+            replay_serial(&mut serial, &pis, ops);
+        }
+
+        for round in 0..4 {
+            let (mut claimed, pis2) = fresh(inputs);
+            let table = claimed.begin_commit_batch();
+            let logs: Vec<ClaimLog> = std::thread::scope(|scope| {
+                let table: &ShardedStrash = &table;
+                let handles: Vec<_> = streams
+                    .iter()
+                    .map(|ops| {
+                        let pis = pis2.clone();
+                        scope.spawn(move || {
+                            let mut log = ClaimLog::new();
+                            replay_claims(table, &pis, ops, &mut log);
+                            log
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for log in &logs {
+                claimed.link_claims(log);
+            }
+            claimed.end_commit_batch();
+            assert_eq!(claimed, serial, "round {round}");
+        }
+    }
+
+    /// The provisional namespace is disjoint from real node indices and
+    /// round-trips through the signal packing.
+    #[test]
+    fn provisional_signals_are_recognizable() {
+        let s = ShardedStrash::provisional_signal(17);
+        assert!(ShardedStrash::is_provisional(s));
+        assert!(ShardedStrash::is_provisional(!s));
+        assert_eq!(ShardedStrash::provisional_index(s), 17);
+        assert_eq!(ShardedStrash::provisional_index(!s), 17);
+        assert!(!ShardedStrash::is_provisional(Signal::CONST0));
+        assert!(!ShardedStrash::is_provisional(
+            NodeId::from_index(123_456).signal()
+        ));
+    }
+
+    /// A panic inside a claim poisons its shard; later claims on the same
+    /// shard must recover instead of deadlocking or panicking.
+    #[test]
+    fn poisoned_shard_stays_usable() {
+        let table = Arc::new(ShardedStrash::new());
+        let a = NodeId::from_index(1).signal();
+        let b = NodeId::from_index(2).signal();
+
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = table.lock_shard(GateKind::And2, &[a, b, Signal::CONST0]);
+            panic!("die holding the shard lock");
+        }));
+        assert!(poisoned.is_err());
+
+        // The shard Mutex is now poisoned; a claim through it must succeed.
+        let mut log = ClaimLog::new();
+        let s = table.claim_and2(a, b, &mut log);
+        assert!(ShardedStrash::is_provisional(s));
+        assert_eq!(log.len(), 1);
+    }
+}

@@ -7,6 +7,11 @@
 //! Also sweeps `ChoiceNetwork::verify` over the random suite — every
 //! recorded choice class must simulate equivalent — and pins the id-sorted
 //! iteration order of `representatives()`.
+//!
+//! The commit-heavy profile (wide circuits, raised candidate cap, two
+//! secondary representations) targets the sharded concurrent strash: commit
+//! traffic dominates those builds, so any divergence in claim folds, bucket
+//! reservations or link order shows up as a byte difference here.
 
 use mch::benchmarks::random_logic;
 use mch::choice::{build_mch, build_mch_with_stats, MchParams};
@@ -62,6 +67,81 @@ fn build_mch_is_identical_across_thread_counts() {
                 );
             }
         }
+    }
+}
+
+/// A wide random network: enough gates that the sharded strash genuinely
+/// fans the claim phase out across workers at every tested thread count.
+fn wide_arbitrary_network(i: usize) -> Network {
+    let mut rng = Prng::seed_from_u64(0xC0_3317 + i as u64);
+    let inputs = rng.gen_range(20..30);
+    let outputs = rng.gen_range(4..8);
+    let gates = rng.gen_range(500..800);
+    let seed = rng.next_u64();
+    let aig = random_logic("choice-commit-heavy", inputs, outputs, gates, seed);
+    if i.is_multiple_of(2) {
+        aig
+    } else {
+        convert(&aig, NetworkKind::Xag)
+    }
+}
+
+#[test]
+fn commit_heavy_builds_are_identical_across_thread_counts() {
+    // Stress profile for the sharded concurrent commit: wide circuits, two
+    // secondary representations (so the batched one-to-one claim/link path
+    // runs) and a raised candidate cap so commit traffic — claims, bucket
+    // reservations, id-ordered linking — dominates the build. Every thread
+    // count must still produce the byte-identical choice network.
+    for i in 0..4 {
+        let net = wide_arbitrary_network(i);
+        let mut base = MchParams::mixed(&[NetworkKind::Xag, NetworkKind::Xmg]);
+        base.max_candidates_per_node = 8;
+        let (serial_cn, serial_stats) = build_mch_with_stats(&net, &base.clone().with_threads(1));
+        for threads in THREAD_COUNTS {
+            let (cn, stats) = build_mch_with_stats(&net, &base.clone().with_threads(threads));
+            assert_eq!(
+                serial_cn, cn,
+                "case {i}: {threads}-thread commit-heavy build diverged from serial"
+            );
+            assert_eq!(
+                serial_stats.timeless(),
+                stats.timeless(),
+                "case {i}: {threads}-thread commit-heavy stats diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn commit_heavy_flows_are_identical_across_thread_counts() {
+    // The same stress profile end to end: both technology-mapping flows over
+    // a raised candidate cap must hand back identical netlists at every
+    // thread count.
+    let lib = asap7_lite();
+    let lut = LutLibrary::k6();
+    let net = wide_arbitrary_network(0);
+    let commit_heavy = |mut config: MchConfig, threads: usize| {
+        config.mch.max_candidates_per_node = 6;
+        config.with_threads(threads)
+    };
+    let asic_serial = asic_flow_mch(&net, &lib, &commit_heavy(MchConfig::area_oriented(), 1));
+    let lut_serial = lut_flow_mch(&net, &lut, &commit_heavy(MchConfig::lut_area(), 1));
+    assert!(asic_serial.verified && lut_serial.verified);
+    for threads in THREAD_COUNTS {
+        let asic = asic_flow_mch(&net, &lib, &commit_heavy(MchConfig::area_oriented(), threads));
+        assert_eq!(
+            asic_serial.netlist, asic.netlist,
+            "{threads}-thread commit-heavy ASIC flow diverged"
+        );
+        assert_eq!(asic_serial.area.to_bits(), asic.area.to_bits());
+        assert_eq!(asic_serial.delay.to_bits(), asic.delay.to_bits());
+        let fpga = lut_flow_mch(&net, &lut, &commit_heavy(MchConfig::lut_area(), threads));
+        assert_eq!(
+            lut_serial.netlist, fpga.netlist,
+            "{threads}-thread commit-heavy LUT flow diverged"
+        );
+        assert_eq!((lut_serial.luts, lut_serial.levels), (fpga.luts, fpga.levels));
     }
 }
 

@@ -65,6 +65,41 @@ fn degraded_asic_flow_is_identical_at_every_thread_count() {
 }
 
 #[test]
+fn degraded_parallel_commit_is_identical_at_every_thread_count() {
+    // A *partially* breaching budget over a circuit large enough for the
+    // batched commit path: the candidate cap halves (a pure pre-flow config
+    // transform) but resynthesis and snapshot mixing stay on, so the
+    // degraded build still drives the sharded concurrent strash at
+    // `threads > 1`. Budgets and the parallel commit must compose: the same
+    // rungs taken, the same degraded netlist, at every thread count.
+    let net = mch::benchmarks::adder(16);
+    let lut = LutLibrary::k6();
+    let budget = FlowBudget::unlimited().with_max_resynthesis_candidates(1000);
+    let mut reports = Vec::new();
+    let mut serializations = Vec::new();
+    for threads in [1, 2, 4, 8] {
+        let config = MchConfig::lut_area().with_threads(threads);
+        let result = mch::core::try_lut_flow_mch_with_budget(&net, &lut, &config, &budget)
+            .expect("a partially breached budget degrades, it does not fail");
+        assert!(result.degradation.degraded(), "the cap must breach");
+        assert!(
+            !result
+                .degradation
+                .steps
+                .contains(&DegradationStep::ResynthesisDisabled),
+            "resynthesis must survive so the parallel commit actually runs"
+        );
+        assert!(result.verified, "degraded output must verify at {threads} threads");
+        reports.push(result.degradation.steps.clone());
+        serializations.push(write_lut_blif(&result.netlist));
+    }
+    for (i, (report, blif)) in reports.iter().zip(&serializations).enumerate().skip(1) {
+        assert_eq!(report, &reports[0], "degradation report diverged (index {i})");
+        assert_eq!(blif, &serializations[0], "degraded netlist diverged (index {i})");
+    }
+}
+
+#[test]
 fn forced_breach_report_is_pinned() {
     // `lut_area` starts from cut_limit 8, 3 candidates per node, one level
     // and one area strategy entry, and snapshot mixing on. A zero candidate
