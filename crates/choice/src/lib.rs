@@ -48,8 +48,8 @@ mod strategies;
 pub use choice_network::ChoiceNetwork;
 pub use dch::{add_snapshot_choices, dch_from_snapshots};
 pub use dsd::{decompose, emit_decomposed, Decomposition};
-pub use mch::{build_mch, build_mch_with_stats, MchParams, MchStats};
-pub use npn_db::{NpnDatabase, NpnPlan, NpnPlanCache};
+pub use mch::{build_mch, build_mch_with_stats, build_mch_with_stats_shared, MchParams, MchStats};
+pub use npn_db::{NpnDatabase, NpnPlan, NpnPlanCache, SharedNpnCache};
 pub use sop::{cover_implements, emit_factored, isop, literal_count, Cube};
 pub use strategies::{
     import_subnetwork, synthesize, GateRecipe, RecipeRef, StrategyEntry, StrategyLibrary,

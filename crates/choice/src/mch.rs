@@ -34,7 +34,7 @@
 //! per emission, no batch, no claims.
 
 use crate::choice_network::ChoiceNetwork;
-use crate::npn_db::{NpnClaim, NpnDatabase, NpnPlan, NpnPlanCache};
+use crate::npn_db::{NpnClaim, NpnDatabase, NpnPlan, NpnPlanCache, SharedNpnCache};
 use crate::strategies::{GateRecipe, StrategyLibrary};
 use mch_cut::{
     enumerate_cuts_threaded, level_parallel, Cut, CutCostModel, CutParams, NetworkCuts, WorkerPool,
@@ -46,7 +46,7 @@ use mch_logic::{
 use std::collections::HashSet;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, PoisonError, RwLock};
+use std::sync::{mpsc, Arc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 /// Smallest gate count worth planning on the pool; below it the fused serial
@@ -1054,6 +1054,24 @@ pub fn build_mch(network: &Network, params: &MchParams) -> ChoiceNetwork {
 /// Same as [`build_mch`] but also reports how many choices each source
 /// contributed and where the construction time went (see [`MchStats`]).
 pub fn build_mch_with_stats(network: &Network, params: &MchParams) -> (ChoiceNetwork, MchStats) {
+    build_mch_with_stats_shared(network, params, None)
+}
+
+/// [`build_mch_with_stats`] over an optional service-wide
+/// [`SharedNpnCache`]: with `Some(shared)` the per-build NPN database routes
+/// every class synthesis through the shared store, so concurrent builds (the
+/// batched mapping service) synthesise each class once per process instead
+/// of once per job.
+///
+/// Sharing is invisible in the output: [`synthesize`](crate::synthesize) is a
+/// pure function of the class key, so the choice network **and** the
+/// deterministic [`MchStats`] counters are byte-identical to a private-cache
+/// build at every thread count and under any concurrent workload.
+pub fn build_mch_with_stats_shared(
+    network: &Network,
+    params: &MchParams,
+    shared: Option<&Arc<SharedNpnCache>>,
+) -> (ChoiceNetwork, MchStats) {
     let mut cn = ChoiceNetwork::from_network(network);
     let mut stats = MchStats::default();
     let threads = params.threads.max(1);
@@ -1123,7 +1141,10 @@ pub fn build_mch_with_stats(network: &Network, params: &MchParams) -> (ChoiceNet
     // ------------------------------------------------------------------
     let phase_start = Instant::now();
     let mut commit_time = Duration::ZERO;
-    let db = RwLock::new(NpnDatabase::new());
+    let db = RwLock::new(match shared {
+        Some(shared) => NpnDatabase::with_shared(Arc::clone(shared)),
+        None => NpnDatabase::new(),
+    });
     let gate_ids: Vec<NodeId> = network.gate_ids().collect();
     if let Some(table) = &table {
         let ctx = PlanCtx {

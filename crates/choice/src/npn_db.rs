@@ -26,14 +26,30 @@
 //!
 //! [`NpnDatabase::emit`] is the fused serial form: plan immediately followed
 //! by commit.
+//!
+//! # Cross-job sharing
+//!
+//! A batched mapping service runs many flows concurrently, and most of their
+//! cut functions fall into the same handful of NPN classes. A
+//! [`SharedNpnCache`] is the service-wide second tier behind any number of
+//! per-job databases: [`NpnDatabase::with_shared`] routes every class
+//! synthesis through the shared store, so a class is synthesised **once per
+//! process** instead of once per job. Because [`synthesize`] is a pure
+//! function of the class key, whichever job wins the insert race stores
+//! exactly the network every other job would have stored — sharing can never
+//! change an emitted structure. The per-job database keeps counting its own
+//! hits and misses against its own cache in its own commit order, so per-job
+//! statistics are byte-identical to a solo run whatever else is in flight.
 
 use crate::strategies::{claim_subnetwork, import_subnetwork, synthesize, SynthesisStrategy};
 use mch_logic::{
     npn_canonical, npn_semi_canonical, ClaimLog, Network, NetworkKind, NpnCanonical, ShardedStrash,
     Signal, TruthTable,
 };
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// The key of one cached candidate structure: the NPN class representative
 /// plus the strategy and representation it was synthesised with.
@@ -116,18 +132,113 @@ pub struct NpnClaim {
     out: Signal,
 }
 
+/// A process-wide, read-mostly store of synthesised class networks shared
+/// across concurrent mapping jobs (the second cache tier behind per-job
+/// [`NpnDatabase`]s — see the module docs).
+///
+/// Reads take the lock briefly and clone the cached network; a miss
+/// synthesises outside the lock and inserts first-writer-wins. The hit/miss
+/// counters are service-level throughput telemetry: they depend on job
+/// interleaving and are **not** deterministic — per-job determinism lives in
+/// the per-job [`NpnDatabase`] counters, which never observe this store.
+#[derive(Default)]
+pub struct SharedNpnCache {
+    store: RwLock<HashMap<ClassKey, Network>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SharedNpnCache {
+    /// Creates an empty shared store.
+    pub fn new() -> Self {
+        SharedNpnCache::default()
+    }
+
+    /// Number of distinct (class, strategy, representation) entries stored.
+    pub fn classes(&self) -> usize {
+        self.store
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Syntheses served from the shared store instead of recomputed
+    /// (cross-job telemetry; not deterministic).
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Class syntheses actually performed through this store.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Returns the class network for `key`, synthesising and publishing it on
+    /// first use. Pure in the value: every caller gets a network identical to
+    /// a private synthesis.
+    fn fetch_or_synthesize(&self, key: &ClassKey) -> Network {
+        if let Some(net) = self
+            .store
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return net.clone();
+        }
+        // Synthesise outside the lock; ties are benign because the value is a
+        // pure function of the key (never-overwrite keeps the first insert).
+        let net = synthesize(&key.0, key.2, key.1);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut store = self.store.write().unwrap_or_else(PoisonError::into_inner);
+        store.entry(key.clone()).or_insert(net).clone()
+    }
+}
+
+impl fmt::Debug for SharedNpnCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedNpnCache")
+            .field("classes", &self.classes())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
 /// Cache of synthesised canonical structures keyed by NPN class.
 #[derive(Clone, Debug, Default)]
 pub struct NpnDatabase {
     cache: HashMap<ClassKey, Network>,
     hits: usize,
     misses: usize,
+    shared: Option<Arc<SharedNpnCache>>,
 }
 
 impl NpnDatabase {
     /// Creates an empty database.
     pub fn new() -> Self {
         NpnDatabase::default()
+    }
+
+    /// Creates an empty per-job database backed by a service-wide
+    /// [`SharedNpnCache`]: every class synthesis is routed through the shared
+    /// store, while all hit/miss bookkeeping stays local to this database (so
+    /// per-job statistics match a solo run exactly — see the module docs).
+    pub fn with_shared(shared: Arc<SharedNpnCache>) -> Self {
+        NpnDatabase {
+            shared: Some(shared),
+            ..NpnDatabase::default()
+        }
+    }
+
+    /// Synthesises the class representative for `key`, going through the
+    /// shared store when one is attached. Identical output either way:
+    /// [`synthesize`] is pure.
+    fn synthesize_class(&self, key: &ClassKey) -> Network {
+        match &self.shared {
+            Some(shared) => shared.fetch_or_synthesize(key),
+            None => synthesize(&key.0, key.2, key.1),
+        }
     }
 
     /// Number of cache hits so far.
@@ -220,7 +331,7 @@ impl NpnDatabase {
         {
             None
         } else {
-            let net = synthesize(&canon.representative, kind, strategy);
+            let net = self.synthesize_class(&key);
             scratch.synthesized.insert(key.clone(), net.clone());
             Some(net)
         };
@@ -258,7 +369,10 @@ impl NpnDatabase {
                     output_neg,
                 } = *class;
                 if !self.cache.contains_key(&key) {
-                    let net = synthesized.unwrap_or_else(|| synthesize(&key.0, key.2, key.1));
+                    let net = match synthesized {
+                        Some(net) => net,
+                        None => self.synthesize_class(&key),
+                    };
                     self.cache.insert(key.clone(), net);
                     self.misses += 1;
                 } else {
@@ -311,14 +425,15 @@ impl NpnDatabase {
                 let PlanClass {
                     key, synthesized, ..
                 } = *class;
-                match self.cache.entry(key) {
-                    Entry::Vacant(slot) => {
-                        let key = slot.key();
-                        let net = synthesized.unwrap_or_else(|| synthesize(&key.0, key.2, key.1));
-                        slot.insert(net);
-                        self.misses += 1;
-                    }
-                    Entry::Occupied(_) => self.hits += 1,
+                if !self.cache.contains_key(&key) {
+                    let net = match synthesized {
+                        Some(net) => net,
+                        None => self.synthesize_class(&key),
+                    };
+                    self.cache.insert(key, net);
+                    self.misses += 1;
+                } else {
+                    self.hits += 1;
                 }
                 target.link_claims(&log);
                 target.resolve_claim(out)
@@ -587,6 +702,46 @@ mod tests {
         assert_eq!(serial_db.hits(), claimed_db.hits());
         assert_eq!(serial_db.misses(), claimed_db.misses());
         assert_eq!(serial_db.len(), claimed_db.len());
+    }
+
+    #[test]
+    fn shared_cache_changes_neither_networks_nor_local_statistics() {
+        // Two "jobs" over the same functions: a private database versus two
+        // databases behind one shared store (the second warmed by the first).
+        // Emitted networks and per-job hit/miss statistics must be identical
+        // in all three runs; only the shared store's own telemetry may see
+        // cross-job hits.
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        let funcs = [
+            a.and(&b).or(&c),
+            a.xor(&b).and(&c),
+            a.and(&b).or(&c),
+            TruthTable::maj(&a, &b, &c).not(),
+        ];
+
+        let run = |mut db: NpnDatabase| {
+            let mut host = Network::new(NetworkKind::Mixed);
+            let leaves = host.add_inputs(3);
+            for f in &funcs {
+                let s = db.emit(&mut host, f, &leaves, NetworkKind::Xag, SynthesisStrategy::Decompose);
+                host.add_output(s);
+            }
+            (host, db.hits(), db.misses(), db.len())
+        };
+
+        let solo = run(NpnDatabase::new());
+        let shared = Arc::new(SharedNpnCache::new());
+        let first = run(NpnDatabase::with_shared(Arc::clone(&shared)));
+        let second = run(NpnDatabase::with_shared(Arc::clone(&shared)));
+
+        assert_eq!(solo, first, "cold shared store must be invisible");
+        assert_eq!(solo, second, "warm shared store must be invisible");
+        // The second job's syntheses were all served from the shared store.
+        assert_eq!(shared.misses(), solo.3);
+        assert!(shared.hits() >= solo.3);
+        assert_eq!(shared.classes(), solo.3);
     }
 
     #[test]

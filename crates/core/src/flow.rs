@@ -5,7 +5,10 @@ use crate::budget::{plan_degradation, shrink_cut_limit, DegradationReport, Degra
 use crate::error::panic_message;
 use crate::{validate_library, validate_lut_library, validate_network, FlowBudget, FlowError};
 use crate::MchConfig;
-use mch_choice::{add_snapshot_choices, build_mch, dch_from_snapshots, ChoiceNetwork, MchParams};
+use mch_choice::{
+    add_snapshot_choices, build_mch, build_mch_with_stats_shared, dch_from_snapshots,
+    ChoiceNetwork, MchParams, SharedNpnCache,
+};
 use mch_cut::{CutCost, WorkerPool};
 use mch_logic::{Network, NetworkKind, cec};
 use mch_mapper::{
@@ -14,6 +17,7 @@ use mch_mapper::{
 use mch_opt::{compress2rs_like, compress_round, graph_map};
 use mch_techlib::{Library, LutLibrary};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Runs a flow phase with panic containment: any unwind — from the calling
@@ -22,7 +26,7 @@ use std::time::Instant;
 /// shared pool itself recovers independently (dead workers are respawned
 /// lazily, poisoned locks are taken over), so a contained flow leaves the
 /// process ready for the next one.
-fn contain<T>(f: impl FnOnce() -> T) -> Result<T, FlowError> {
+pub(crate) fn contain<T>(f: impl FnOnce() -> T) -> Result<T, FlowError> {
     catch_unwind(AssertUnwindSafe(f)).map_err(|payload| FlowError::WorkerPanic {
         message: panic_message(payload.as_ref()),
     })
@@ -46,11 +50,15 @@ fn unwrap_flow<T>(result: Result<T, FlowError>) -> T {
 /// — the result is identical for every `config.threads` value. Each
 /// graph-mapping job runs its internal enumeration serially (the pool's
 /// recursion guard), so the pool is never deadlocked by nested phases.
-fn build_flow_choices(network: &Network, config: &MchConfig) -> ChoiceNetwork {
+fn build_flow_choices(
+    network: &Network,
+    config: &MchConfig,
+    shared_npn: Option<&Arc<SharedNpnCache>>,
+) -> ChoiceNetwork {
     // `config.threads` is authoritative for the whole flow.
     let mut mch_params = config.mch.clone();
     mch_params.threads = config.threads;
-    let mut choices = build_mch(network, &mch_params);
+    let (mut choices, _) = build_mch_with_stats_shared(network, &mch_params, shared_npn);
     if config.mix_optimized_snapshots {
         // A restructured view in the input's own representation (this is still
         // "based solely on the input AIG" for the balanced flow), plus one
@@ -243,6 +251,7 @@ fn asic_flow_mch_impl(
     library: &Library,
     config: &MchConfig,
     budget: &FlowBudget,
+    shared_npn: Option<&Arc<SharedNpnCache>>,
 ) -> AsicFlowResult {
     let start = Instant::now();
     let (config, mut report) = plan_degradation(
@@ -251,7 +260,7 @@ fn asic_flow_mch_impl(
         config,
         budget,
     );
-    let choices = build_flow_choices(network, &config);
+    let choices = build_flow_choices(network, &config, shared_npn);
     let mut params = AsicMapParams::new(config.objective)
         .with_ranking(config.cut_ranking)
         .with_threads(config.threads)
@@ -317,9 +326,22 @@ pub fn try_asic_flow_mch_with_budget(
     config: &MchConfig,
     budget: &FlowBudget,
 ) -> Result<AsicFlowResult, FlowError> {
+    try_asic_flow_mch_shared(network, library, config, budget, None)
+}
+
+/// [`try_asic_flow_mch_with_budget`] over an optional service-wide NPN cache
+/// — the per-job entry point of the [`MappingService`](crate::service).
+/// Sharing is output-invisible (see [`build_mch_with_stats_shared`]).
+pub(crate) fn try_asic_flow_mch_shared(
+    network: &Network,
+    library: &Library,
+    config: &MchConfig,
+    budget: &FlowBudget,
+    shared_npn: Option<&Arc<SharedNpnCache>>,
+) -> Result<AsicFlowResult, FlowError> {
     validate_network(network)?;
     validate_library(library)?;
-    contain(|| asic_flow_mch_impl(network, library, config, budget))
+    contain(|| asic_flow_mch_impl(network, library, config, budget, shared_npn))
 }
 
 /// Baseline FPGA flow: plain K-LUT mapping of the input network.
@@ -360,6 +382,7 @@ fn lut_flow_mch_impl(
     lut: &LutLibrary,
     config: &MchConfig,
     budget: &FlowBudget,
+    shared_npn: Option<&Arc<SharedNpnCache>>,
 ) -> LutFlowResult {
     let start = Instant::now();
     let (config, mut report) = plan_degradation(
@@ -368,7 +391,7 @@ fn lut_flow_mch_impl(
         config,
         budget,
     );
-    let choices = build_flow_choices(network, &config);
+    let choices = build_flow_choices(network, &config, shared_npn);
     let mut params = LutMapParams::new(config.objective)
         .with_ranking(config.cut_ranking)
         .with_threads(config.threads)
@@ -426,9 +449,21 @@ pub fn try_lut_flow_mch_with_budget(
     config: &MchConfig,
     budget: &FlowBudget,
 ) -> Result<LutFlowResult, FlowError> {
+    try_lut_flow_mch_shared(network, lut, config, budget, None)
+}
+
+/// [`try_lut_flow_mch_with_budget`] over an optional service-wide NPN cache
+/// — the per-job entry point of the [`MappingService`](crate::service).
+pub(crate) fn try_lut_flow_mch_shared(
+    network: &Network,
+    lut: &LutLibrary,
+    config: &MchConfig,
+    budget: &FlowBudget,
+    shared_npn: Option<&Arc<SharedNpnCache>>,
+) -> Result<LutFlowResult, FlowError> {
     validate_network(network)?;
     validate_lut_library(lut)?;
-    contain(|| lut_flow_mch_impl(network, lut, config, budget))
+    contain(|| lut_flow_mch_impl(network, lut, config, budget, shared_npn))
 }
 
 /// Fallible [`build_mch`](mch_choice::build_mch): validates the network up

@@ -31,6 +31,7 @@ mod config;
 mod error;
 mod flow;
 mod report;
+pub mod service;
 
 pub use budget::{DegradationReport, DegradationStep, FlowBudget, StrategyClass};
 pub use config::MchConfig;
@@ -42,6 +43,7 @@ pub use flow::{
     try_lut_flow_mch_with_budget, AsicFlowResult, LutFlowResult,
 };
 pub use report::{geometric_mean, improvement_percent, FlowMetrics};
+pub use service::{Job, JobKind, JobOutput, JobReport, MappingService, ServiceStats};
 
 pub use mch_benchmarks as benchmarks;
 pub use mch_choice as choice;
