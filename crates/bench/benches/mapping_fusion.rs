@@ -1,0 +1,188 @@
+//! Benchmark for the ASIC-guided fused LUT mapper.
+//!
+//! Maps every suite circuit three times at the same cut limit, all through
+//! the hybrid (depth + area-flow) ranking baseline of `mapping_quality`:
+//!
+//! * **structural**: static `(size, leaves)` cut order — the common
+//!   denominator shared with `BENCH_mapping.json`;
+//! * **hybrid**: cost-aware ranking — the pinned quality baseline;
+//! * **fused**: hybrid ranking plus the ASIC guide cover
+//!   (`FusionMode::Full`): guide-selected cones injected as extra cut
+//!   candidates and favoured by a ranking bonus.
+//!
+//! The per-circuit numbers and the aggregate geometric-mean ratios over the
+//! structural denominator (lower is better) are written to
+//! `BENCH_fusion.json` at the workspace root. The headline claim this file
+//! records: the fused mapper is **no worse than the hybrid baseline on both
+//! LUT geomeans and strictly better on at least one**, and its netlists are
+//! byte-identical at 1, 2, 4 and 8 worker threads.
+//!
+//! Set `MCH_BENCH_SMOKE=1` for the reduced CI circuit list; set
+//! `MCH_BENCH_FULL=1` for the entire EPFL-like suite.
+
+use mch_benchmarks::{benchmark, epfl_suite, epfl_suite_small};
+use mch_cut::CutCost;
+use mch_logic::Network;
+use mch_mapper::{
+    map_lut_fused_network, map_lut_network, FusionMode, LutMapParams, MappingObjective,
+};
+use mch_techlib::{asap7_lite, LutLibrary};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Row {
+    circuit: String,
+    gates: usize,
+    structural_luts: usize,
+    structural_levels: u32,
+    hybrid_luts: usize,
+    hybrid_levels: u32,
+    fused_luts: usize,
+    fused_levels: u32,
+    deterministic: bool,
+}
+
+fn gather_circuits() -> Vec<(String, Network)> {
+    let smoke = std::env::var_os("MCH_BENCH_SMOKE").is_some();
+    let full = std::env::var_os("MCH_BENCH_FULL").is_some();
+    if smoke {
+        ["ctrl", "int2float", "cavlc"]
+            .iter()
+            .filter_map(|n| benchmark(n).map(|net| (n.to_string(), net)))
+            .collect()
+    } else if full {
+        epfl_suite()
+            .into_iter()
+            .map(|b| (b.name.to_string(), b.network))
+            .collect()
+    } else {
+        epfl_suite_small()
+            .into_iter()
+            .map(|b| (b.name.to_string(), b.network))
+            .collect()
+    }
+}
+
+fn geomean(ratios: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = ratios.fold((0.0f64, 0usize), |(s, n), r| (s + r.ln(), n + 1));
+    (sum / n as f64).exp()
+}
+
+fn main() {
+    let lut = LutLibrary::k6();
+    let lib = asap7_lite();
+    let objective = MappingObjective::Balanced;
+    let circuits = gather_circuits();
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, net) in &circuits {
+        eprintln!("mapping {name}…");
+        let params = LutMapParams::new(objective);
+        let structural = map_lut_network(net, &lut, &params.with_ranking(CutCost::Structural));
+        let hybrid = map_lut_network(net, &lut, &params.with_ranking(CutCost::Hybrid));
+        let fused_params = params
+            .with_ranking(CutCost::Hybrid)
+            .with_fusion(FusionMode::Full);
+        let fused = map_lut_fused_network(net, &lut, &lib, &fused_params);
+        // Scheduling must never be observable: the guide cover and the fused
+        // LUT cover both run under every tested worker count and must hand
+        // back the byte-identical netlist.
+        let deterministic = THREAD_COUNTS.iter().all(|&threads| {
+            map_lut_fused_network(net, &lut, &lib, &fused_params.with_threads(threads)) == fused
+        });
+        rows.push(Row {
+            circuit: name.clone(),
+            gates: net.gate_count(),
+            structural_luts: structural.lut_count(),
+            structural_levels: structural.level_count(),
+            hybrid_luts: hybrid.lut_count(),
+            hybrid_levels: hybrid.level_count(),
+            fused_luts: fused.lut_count(),
+            fused_levels: fused.level_count(),
+            deterministic,
+        });
+    }
+
+    let hybrid_level_ratio = geomean(
+        rows.iter()
+            .map(|r| r.hybrid_levels as f64 / r.structural_levels as f64),
+    );
+    let hybrid_count_ratio = geomean(
+        rows.iter()
+            .map(|r| r.hybrid_luts as f64 / r.structural_luts as f64),
+    );
+    let fused_level_ratio = geomean(
+        rows.iter()
+            .map(|r| r.fused_levels as f64 / r.structural_levels as f64),
+    );
+    let fused_count_ratio = geomean(
+        rows.iter()
+            .map(|r| r.fused_luts as f64 / r.structural_luts as f64),
+    );
+    let all_deterministic = rows.iter().all(|r| r.deterministic);
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"mapping_fusion\",\n  \"params\": {\"cut_limit\": 8, \"objective\": \"balanced\", \"lut_k\": 6, \"guide_library\": \"asap7_lite\", \"fusion\": \"full\", \"thread_counts\": [1, 2, 4, 8]},\n  \"circuits\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"circuit\": \"{}\", \"gates\": {}, \"structural\": {{\"luts\": {}, \"levels\": {}}}, \"hybrid\": {{\"luts\": {}, \"levels\": {}}}, \"fused\": {{\"luts\": {}, \"levels\": {}}}, \"deterministic\": {}}}{}",
+            r.circuit,
+            r.gates,
+            r.structural_luts,
+            r.structural_levels,
+            r.hybrid_luts,
+            r.hybrid_levels,
+            r.fused_luts,
+            r.fused_levels,
+            r.deterministic,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"geomean_hybrid_over_structural\": {{\"lut_levels\": {hybrid_level_ratio:.4}, \"lut_count\": {hybrid_count_ratio:.4}}},\n  \"geomean_fused_over_structural\": {{\"lut_levels\": {fused_level_ratio:.4}, \"lut_count\": {fused_count_ratio:.4}}},\n  \"all_deterministic\": {all_deterministic}\n}}\n"
+    );
+
+    // crates/bench → workspace root.
+    let out: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fusion.json");
+    std::fs::write(&out, &json).expect("write BENCH_fusion.json");
+
+    eprintln!("\nper-circuit LUT quality (structural / hybrid / fused):");
+    for r in &rows {
+        eprintln!(
+            "  {:<12} {:>6} gates   levels {:>2} / {:>2} / {:>2}   luts {:>5} / {:>5} / {:>5}   deterministic: {}",
+            r.circuit,
+            r.gates,
+            r.structural_levels,
+            r.hybrid_levels,
+            r.fused_levels,
+            r.structural_luts,
+            r.hybrid_luts,
+            r.fused_luts,
+            r.deterministic,
+        );
+    }
+    eprintln!(
+        "geomean ratios over structural: hybrid levels {hybrid_level_ratio:.4}, hybrid count {hybrid_count_ratio:.4}, fused levels {fused_level_ratio:.4}, fused count {fused_count_ratio:.4}"
+    );
+    eprintln!("all_deterministic: {all_deterministic}");
+    eprintln!("wrote {}", out.display());
+
+    assert!(
+        all_deterministic,
+        "fused mapping diverged across thread counts"
+    );
+    assert!(
+        fused_level_ratio <= hybrid_level_ratio + 1e-9
+            && fused_count_ratio <= hybrid_count_ratio + 1e-9,
+        "fusion regressed a LUT geomean: levels {fused_level_ratio:.4} vs {hybrid_level_ratio:.4}, count {fused_count_ratio:.4} vs {hybrid_count_ratio:.4}"
+    );
+    assert!(
+        fused_level_ratio < hybrid_level_ratio - 1e-9
+            || fused_count_ratio < hybrid_count_ratio - 1e-9,
+        "fusion improved neither LUT geomean: levels {fused_level_ratio:.4} vs {hybrid_level_ratio:.4}, count {fused_count_ratio:.4} vs {hybrid_count_ratio:.4}"
+    );
+}

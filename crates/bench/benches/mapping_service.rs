@@ -198,6 +198,7 @@ fn main() {
         let kind = match &job.kind {
             mch_core::JobKind::AsicMch(_) => "asic",
             mch_core::JobKind::LutMch(_) => "lut",
+            mch_core::JobKind::LutFusedMch(_, _) => "lut-fused",
         };
         let _ = writeln!(
             json,

@@ -109,6 +109,11 @@ pub enum DegradationStep {
     ResynthesisDisabled,
     /// The graph-mapped snapshot views were dropped from the choice mix.
     SnapshotsDropped,
+    /// Cross-mapper fusion was dropped: the ASIC guide pass doubles the cut
+    /// work per job, so a fused flow whose predicted guide-pass arena
+    /// (`nodes × cut_limit`, on top of the LUT arena) exceeds the slot cap —
+    /// or whose deadline already passed — falls back to the plain LUT cover.
+    FusionDropped,
     /// The wall-clock deadline passed after choice construction: the mapper
     /// fell back to structural cut ranking with zero area-recovery rounds.
     DeadlineFallback,

@@ -3,7 +3,7 @@
 use mch_choice::MchParams;
 use mch_cut::CutCost;
 use mch_logic::NetworkKind;
-use mch_mapper::MappingObjective;
+use mch_mapper::{FusionMode, MappingObjective};
 
 /// Configuration of an MCH-based mapping flow.
 ///
@@ -56,6 +56,14 @@ pub struct MchConfig {
     /// [`with_threads`](MchConfig::with_threads), which also syncs
     /// `mch.threads` for direct `build_mch` use) controls every phase.
     pub threads: usize,
+    /// Cross-mapper fusion mode for LUT flows (see [`mch_mapper::fusion`]):
+    /// an ASIC guide cover's selected cones are injected into / bias the LUT
+    /// cover. Off in every preset except [`lut_fusion`](MchConfig::lut_fusion)
+    /// — fusion changes covers, and the preset quality numbers are pinned.
+    /// Only honoured by the fused LUT flow entry points
+    /// (`try_lut_flow_mch_fused`), which carry the cell library the guide
+    /// pass needs; ASIC flows and the plain LUT flows ignore it.
+    pub fusion: FusionMode,
 }
 
 impl MchConfig {
@@ -71,6 +79,7 @@ impl MchConfig {
             area_rounds: None,
             exact_area: false,
             threads: mch_cut::default_threads(),
+            fusion: FusionMode::Off,
         }
     }
 
@@ -86,6 +95,7 @@ impl MchConfig {
             area_rounds: None,
             exact_area: false,
             threads: mch_cut::default_threads(),
+            fusion: FusionMode::Off,
         }
     }
 
@@ -101,6 +111,7 @@ impl MchConfig {
             area_rounds: None,
             exact_area: false,
             threads: mch_cut::default_threads(),
+            fusion: FusionMode::Off,
         }
     }
 
@@ -141,7 +152,28 @@ impl MchConfig {
             area_rounds: None,
             exact_area: false,
             threads: mch_cut::default_threads(),
+            fusion: FusionMode::Off,
         }
+    }
+
+    /// The cross-mapper fusion flow: [`lut_area`](MchConfig::lut_area) with
+    /// the full ASIC-guided fusion pipeline enabled (cone injection + ranking
+    /// bias — see [`mch_mapper::fusion`]). Use with the fused LUT entry
+    /// points, which take the cell library driving the guide pass.
+    pub fn lut_fusion() -> Self {
+        MchConfig {
+            name: "MCH 6-LUT fusion".into(),
+            fusion: FusionMode::Full,
+            ..MchConfig::lut_area()
+        }
+    }
+
+    /// Returns the same configuration with an explicit cross-mapper fusion
+    /// mode (see [`mch_mapper::fusion`]; only honoured by the fused LUT flow
+    /// entry points).
+    pub fn with_fusion(mut self, fusion: FusionMode) -> Self {
+        self.fusion = fusion;
+        self
     }
 }
 

@@ -12,7 +12,8 @@ use mch_choice::{
 use mch_cut::{CutCost, WorkerPool};
 use mch_logic::{Network, NetworkKind, cec};
 use mch_mapper::{
-    map_asic, map_lut, AsicMapParams, CellNetlist, LutMapParams, LutNetlist, MappingObjective,
+    map_asic, map_lut, map_lut_fused, AsicMapParams, CellNetlist, FusionMode, LutMapParams,
+    LutNetlist, MappingObjective,
 };
 use mch_opt::{compress2rs_like, compress_round, graph_map};
 use mch_techlib::{Library, LutLibrary};
@@ -419,6 +420,137 @@ fn lut_flow_mch_impl(
     finish_lut(config.name.clone(), network, netlist, start, report)
 }
 
+/// The budgeted fused MCH FPGA flow body: [`lut_flow_mch_impl`] with the
+/// cross-mapper fusion pipeline ([`mch_mapper::fusion`]) ahead of the LUT
+/// cover, plus two fusion-specific degradation rungs. Both are
+/// deterministic: the arena check depends only on the (deterministically
+/// sized) choice network, and the deadline check rides the existing
+/// [`DegradationStep::DeadlineFallback`] decision point.
+fn lut_flow_mch_fused_impl(
+    network: &Network,
+    lut: &LutLibrary,
+    library: &Library,
+    config: &MchConfig,
+    budget: &FlowBudget,
+    shared_npn: Option<&Arc<SharedNpnCache>>,
+) -> LutFlowResult {
+    let start = Instant::now();
+    let (config, mut report) = plan_degradation(
+        network.len(),
+        network.gate_count(),
+        config,
+        budget,
+    );
+    let choices = build_flow_choices(network, &config, shared_npn);
+    let mut params = LutMapParams::new(config.objective)
+        .with_ranking(config.cut_ranking)
+        .with_threads(config.threads)
+        .with_exact_area(config.exact_area)
+        .with_fusion(config.fusion);
+    if let Some(rounds) = config.area_rounds {
+        params = params.with_area_rounds(rounds);
+    }
+    params.cut_limit = shrink_cut_limit(
+        choices.network().len(),
+        params.cut_limit,
+        budget.max_cut_arena_slots,
+        &mut report,
+    );
+    // The ASIC guide pass enumerates a second cut arena of (at most) the same
+    // predicted size as the LUT one; when the two together cannot fit the
+    // slot cap, fusion is the thing to shed — the plain LUT cover is always
+    // a complete, valid result.
+    if let Some(cap) = budget.max_cut_arena_slots {
+        let both_arenas = choices
+            .network()
+            .len()
+            .saturating_mul(params.cut_limit)
+            .saturating_mul(2);
+        if params.fusion.is_enabled() && both_arenas > cap {
+            params = params.with_fusion(FusionMode::Off);
+            report.steps.push(DegradationStep::FusionDropped);
+        }
+    }
+    if let Some(deadline) = budget.deadline {
+        if start.elapsed() >= deadline {
+            report.deadline_breached = true;
+            if params.fusion.is_enabled() {
+                // The guide pass is pure extra work; shed it before falling
+                // back to the cheapest valid mapping.
+                params = params.with_fusion(FusionMode::Off);
+                report.steps.push(DegradationStep::FusionDropped);
+            }
+            report.steps.push(DegradationStep::DeadlineFallback);
+            params = params
+                .with_ranking(CutCost::Structural)
+                .with_area_rounds(0)
+                .with_exact_area(false);
+        }
+    }
+    let netlist = map_lut_fused(&choices, lut, library, &params);
+    finish_lut(config.name.clone(), network, netlist, start, report)
+}
+
+/// Fused MCH FPGA flow: [`lut_flow_mch`] with ASIC-guided cross-mapper fusion
+/// (see [`mch_mapper::fusion`]) — `library` drives the ASIC guide cover whose
+/// selected cones are injected into / bias the LUT cover per
+/// [`MchConfig::fusion`]. With [`FusionMode::Off`] (every preset except
+/// [`MchConfig::lut_fusion`]) the output is byte-identical to
+/// [`lut_flow_mch`].
+///
+/// Panics on invalid inputs; use [`try_lut_flow_mch_fused`] to get a
+/// structured [`FlowError`] instead.
+pub fn lut_flow_mch_fused(
+    network: &Network,
+    lut: &LutLibrary,
+    library: &Library,
+    config: &MchConfig,
+) -> LutFlowResult {
+    unwrap_flow(try_lut_flow_mch_fused(network, lut, library, config))
+}
+
+/// Fallible [`lut_flow_mch_fused`]: validates all three inputs up front
+/// (network, LUT library, cell library) and contains any phase panic as
+/// [`FlowError::WorkerPanic`].
+pub fn try_lut_flow_mch_fused(
+    network: &Network,
+    lut: &LutLibrary,
+    library: &Library,
+    config: &MchConfig,
+) -> Result<LutFlowResult, FlowError> {
+    try_lut_flow_mch_fused_with_budget(network, lut, library, config, &FlowBudget::unlimited())
+}
+
+/// [`try_lut_flow_mch_fused`] under a [`FlowBudget`]: beyond the shared
+/// ladder, fusion itself is a rung — it is dropped
+/// ([`DegradationStep::FusionDropped`]) when the guide pass's second cut
+/// arena cannot fit the slot cap or the deadline already passed.
+pub fn try_lut_flow_mch_fused_with_budget(
+    network: &Network,
+    lut: &LutLibrary,
+    library: &Library,
+    config: &MchConfig,
+    budget: &FlowBudget,
+) -> Result<LutFlowResult, FlowError> {
+    try_lut_flow_mch_fused_shared(network, lut, library, config, budget, None)
+}
+
+/// [`try_lut_flow_mch_fused_with_budget`] over an optional service-wide NPN
+/// cache — the per-job entry point of the [`MappingService`](crate::service).
+pub(crate) fn try_lut_flow_mch_fused_shared(
+    network: &Network,
+    lut: &LutLibrary,
+    library: &Library,
+    config: &MchConfig,
+    budget: &FlowBudget,
+    shared_npn: Option<&Arc<SharedNpnCache>>,
+) -> Result<LutFlowResult, FlowError> {
+    validate_network(network)?;
+    validate_lut_library(lut)?;
+    validate_library(library)?;
+    contain(|| lut_flow_mch_fused_impl(network, lut, library, config, budget, shared_npn))
+}
+
 /// MCH FPGA flow: K-LUT mapping over a mixed choice network (the Table-II
 /// configuration: AIG + XMG, area-focused, no other optimization).
 ///
@@ -554,6 +686,65 @@ mod tests {
         // beyond the default flow's.
         let default_fpga = lut_flow_mch(&net, &lut, &MchConfig::lut_area());
         assert!(fpga.luts <= default_fpga.luts);
+    }
+
+    #[test]
+    fn fused_lut_flow_verifies_and_off_mode_matches_plain() {
+        let net = small_circuit();
+        let lut = LutLibrary::k6();
+        let lib = asap7_lite();
+        // Fusion off: the fused entry point is byte-identical to the plain
+        // flow (the guide pass never runs).
+        let plain = lut_flow_mch(&net, &lut, &MchConfig::lut_area());
+        let off = lut_flow_mch_fused(&net, &lut, &lib, &MchConfig::lut_area());
+        assert_eq!(plain.netlist, off.netlist);
+        // Fusion on: still a verified cover, whatever the mode.
+        for mode in [FusionMode::Bias, FusionMode::Inject, FusionMode::Full] {
+            let fused = lut_flow_mch_fused(
+                &net,
+                &lut,
+                &lib,
+                &MchConfig::lut_fusion().with_fusion(mode),
+            );
+            assert!(fused.verified, "{mode:?} flow failed verification");
+            assert!(fused.luts >= 1);
+            assert!(!fused.degradation.degraded());
+        }
+    }
+
+    #[test]
+    fn fusion_is_dropped_when_the_guide_arena_cannot_fit() {
+        let net = small_circuit();
+        let lut = LutLibrary::k6();
+        let lib = asap7_lite();
+        // A cap that admits the LUT arena at the cut-limit floor but not a
+        // second guide arena: the FusionDropped rung fires, the flow still
+        // completes and verifies, and the output matches the unfused flow
+        // under the same budget.
+        let budget = FlowBudget::unlimited().with_max_cut_arena_slots(400);
+        let fused = unwrap_flow(try_lut_flow_mch_fused_with_budget(
+            &net,
+            &lut,
+            &lib,
+            &MchConfig::lut_fusion(),
+            &budget,
+        ));
+        assert!(fused.verified);
+        assert!(
+            fused
+                .degradation
+                .steps
+                .contains(&DegradationStep::FusionDropped),
+            "expected FusionDropped, got {:?}",
+            fused.degradation.steps
+        );
+        let plain = unwrap_flow(try_lut_flow_mch_with_budget(
+            &net,
+            &lut,
+            &MchConfig::lut_fusion(),
+            &budget,
+        ));
+        assert_eq!(plain.netlist, fused.netlist);
     }
 
     #[test]

@@ -38,8 +38,9 @@ pub use config::MchConfig;
 pub use error::{validate_library, validate_lut_library, validate_network, FlowError};
 pub use flow::{
     asic_flow_baseline, asic_flow_dch, asic_flow_mch, lut_flow_baseline, lut_flow_mch,
-    prepare_input, try_asic_flow_baseline, try_asic_flow_dch, try_asic_flow_mch,
-    try_asic_flow_mch_with_budget, try_build_mch, try_lut_flow_baseline, try_lut_flow_mch,
+    lut_flow_mch_fused, prepare_input, try_asic_flow_baseline, try_asic_flow_dch,
+    try_asic_flow_mch, try_asic_flow_mch_with_budget, try_build_mch, try_lut_flow_baseline,
+    try_lut_flow_mch, try_lut_flow_mch_fused, try_lut_flow_mch_fused_with_budget,
     try_lut_flow_mch_with_budget, AsicFlowResult, LutFlowResult,
 };
 pub use report::{geometric_mean, improvement_percent, FlowMetrics};
@@ -57,4 +58,4 @@ pub use mch_techlib as techlib;
 pub use mch_choice::{build_mch, ChoiceNetwork, MchParams};
 pub use mch_cut::CutCost;
 pub use mch_logic::{Network, NetworkKind};
-pub use mch_mapper::MappingObjective;
+pub use mch_mapper::{FusionMode, MappingObjective};

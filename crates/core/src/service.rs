@@ -46,7 +46,9 @@
 //! on the calling worker; the nested jobs' phases then take their own serial
 //! fallbacks. Results are identical to a top-level submission.
 
-use crate::flow::{contain, try_asic_flow_mch_shared, try_lut_flow_mch_shared};
+use crate::flow::{
+    contain, try_asic_flow_mch_shared, try_lut_flow_mch_fused_shared, try_lut_flow_mch_shared,
+};
 use crate::{AsicFlowResult, FlowBudget, FlowError, LutFlowResult, MchConfig};
 use mch_choice::SharedNpnCache;
 use mch_cut::WorkerPool;
@@ -63,6 +65,11 @@ pub enum JobKind {
     AsicMch(Library),
     /// The MCH K-LUT flow against an FPGA LUT library.
     LutMch(LutLibrary),
+    /// The fused MCH K-LUT flow: an ASIC guide cover over the cell library
+    /// feeds the LUT cover per [`MchConfig::fusion`] (see
+    /// [`mch_mapper::fusion`]). With [`FusionMode::Off`](mch_mapper::FusionMode)
+    /// in the config this is byte-identical to [`JobKind::LutMch`].
+    LutFusedMch(LutLibrary, Library),
 }
 
 /// One unit of service work: a circuit, the flow to run on it, its
@@ -110,6 +117,25 @@ impl Job {
             name: name.into(),
             network,
             kind: JobKind::LutMch(lut),
+            config,
+            budget: None,
+        }
+    }
+
+    /// A fused MCH K-LUT mapping job: `library` drives the ASIC guide cover
+    /// (see [`JobKind::LutFusedMch`]); `config.fusion` selects the fusion
+    /// mode.
+    pub fn lut_fused(
+        name: impl Into<String>,
+        network: Network,
+        lut: LutLibrary,
+        library: Library,
+        config: MchConfig,
+    ) -> Job {
+        Job {
+            name: name.into(),
+            network,
+            kind: JobKind::LutFusedMch(lut, library),
             config,
             budget: None,
         }
@@ -376,6 +402,15 @@ impl MappingService {
                 JobKind::LutMch(lut) => try_lut_flow_mch_shared(
                     &network,
                     lut,
+                    &config,
+                    &budget,
+                    Some(&self.npn),
+                )
+                .map(JobOutput::Lut),
+                JobKind::LutFusedMch(lut, library) => try_lut_flow_mch_fused_shared(
+                    &network,
+                    lut,
+                    library,
                     &config,
                     &budget,
                     Some(&self.npn),

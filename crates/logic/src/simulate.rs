@@ -45,7 +45,10 @@ pub fn simulate_nodes(network: &Network, patterns: &[Vec<u64>]) -> Vec<Vec<u64>>
         network.input_count(),
         "one pattern row per primary input required"
     );
-    let words = patterns.first().map_or(0, Vec::len);
+    // A zero-input network has no pattern rows but its constants still need
+    // one word of stimulus; otherwise every node value collapses to an empty
+    // vector and downstream truth-table reconstruction has nothing to read.
+    let words = patterns.first().map_or(1, Vec::len);
     for row in patterns {
         assert_eq!(row.len(), words, "inconsistent pattern widths");
     }
@@ -95,7 +98,7 @@ pub fn simulate_nodes(network: &Network, patterns: &[Vec<u64>]) -> Vec<Vec<u64>>
 /// rows have inconsistent lengths.
 pub fn simulate(network: &Network, patterns: &[Vec<u64>]) -> Vec<Vec<u64>> {
     let values = simulate_nodes(network, patterns);
-    let words = patterns.first().map_or(0, Vec::len);
+    let words = patterns.first().map_or(1, Vec::len);
     network
         .outputs()
         .iter()
@@ -266,6 +269,23 @@ mod tests {
         n.add_output(m);
         let tts = output_truth_tables(&n);
         assert_eq!(tts[0].as_u64(), 0xE8);
+    }
+
+    #[test]
+    fn zero_input_networks_simulate_their_constants() {
+        let mut n = Network::new(NetworkKind::Aig);
+        n.add_output(n.constant(true));
+        n.add_output(n.constant(false));
+        let tts = output_truth_tables(&n);
+        assert_eq!(tts.len(), 2);
+        assert_eq!(tts[0], TruthTable::constant(0, true));
+        assert_eq!(tts[1], TruthTable::constant(0, false));
+        assert_eq!(cec(&n, &n.clone()), Equivalence::Equivalent);
+
+        let mut flipped = Network::new(NetworkKind::Aig);
+        flipped.add_output(flipped.constant(false));
+        flipped.add_output(flipped.constant(true));
+        assert_eq!(cec(&n, &flipped), Equivalence::NotEquivalent);
     }
 
     #[test]

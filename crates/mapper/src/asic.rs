@@ -122,7 +122,7 @@ impl AsicMapParams {
         self
     }
 
-    fn engine_params(&self) -> EngineParams {
+    pub(crate) fn engine_params(&self) -> EngineParams {
         EngineParams {
             objective: self.objective,
             area_rounds: self.area_rounds,
@@ -146,6 +146,10 @@ impl Default for AsicMapParams {
 #[derive(Clone, Debug)]
 pub struct MatchCandidate {
     leaves: Vec<NodeId>,
+    /// The support-reduced cut function the matched cell implements, over
+    /// `leaves` in order. Carried so the fusion pipeline can harvest a
+    /// selected ASIC cone as a ready-made LUT candidate (`fusion.rs`).
+    function: TruthTable,
     cell: CellId,
     pin_perm: Vec<usize>,
     input_neg: u32,
@@ -153,6 +157,14 @@ pub struct MatchCandidate {
     area: f64,
     cell_delay: f64,
     output_extra: f64,
+}
+
+impl MatchCandidate {
+    /// The candidate's cone: its leaves and the support-reduced function they
+    /// feed (the fusion harvest — see `fusion.rs`).
+    pub(crate) fn cone(&self) -> (&[NodeId], &TruthTable) {
+        (&self.leaves, &self.function)
+    }
 }
 
 /// Builds the direct-fanin cut of a gate: leaves are the sorted distinct
@@ -273,6 +285,7 @@ impl CoverTarget for AsicTarget<'_> {
             for m in [best_area, best_delay].into_iter().flatten() {
                 let cand = MatchCandidate {
                     leaves: leaves.clone(),
+                    function: reduced.clone(),
                     cell: m.cell(),
                     pin_perm: m.perm().to_vec(),
                     input_neg: m.input_neg(),
@@ -424,7 +437,7 @@ pub fn map_asic(
     params: &AsicMapParams,
 ) -> CellNetlist {
     let cut_size = library.max_inputs().clamp(3, 6);
-    let cuts = prepare_cuts(
+    let mut cuts = prepare_cuts(
         choice,
         cut_size,
         params.cut_limit,
@@ -432,6 +445,11 @@ pub fn map_asic(
         &library_cost_model(library),
         params.threads,
     );
+    // Choice transfer leaves dead spans behind (`commit_extension` cannot
+    // always rewrite in place); reclaim them before covering so the arena —
+    // and everything accounted against `FlowBudget::max_cut_arena_slots` —
+    // is dense. `compact` preserves every node's cut list byte-for-byte.
+    cuts.compact();
     map_asic_with_cuts(choice, library, &cuts, params)
 }
 

@@ -126,6 +126,33 @@ impl<C> Cover<'_, C> {
     }
 }
 
+/// The outcome of the covering dynamic program, before netlist emission.
+///
+/// [`CoverProblem::solve_selection`] returns the winning candidate index and
+/// cover membership per node; [`CoverProblem::emit`] turns a selection into
+/// the target netlist. The split exists for cross-mapper fusion: the fusion
+/// pipeline solves an ASIC problem, *reads* the selection to harvest the
+/// chosen cones, and never emits an ASIC netlist at all.
+pub struct CoverSelection {
+    best: Vec<usize>,
+    needed: Vec<bool>,
+}
+
+impl CoverSelection {
+    /// Index of the winning candidate of `id` (into the problem's candidate
+    /// list for that node). `usize::MAX` for nodes that are not original
+    /// gates of the problem.
+    pub fn best_index(&self, id: NodeId) -> usize {
+        self.best[id.index()]
+    }
+
+    /// Whether `id` is part of the cover (reachable from the outputs through
+    /// selected candidates).
+    pub fn is_needed(&self, id: NodeId) -> bool {
+        self.needed[id.index()]
+    }
+}
+
 /// Knobs of the covering engine, shared by both mappers.
 #[derive(Copy, Clone, PartialEq, Debug)]
 pub struct EngineParams {
@@ -164,6 +191,10 @@ pub struct CoverProblem<'a, T: CoverTarget> {
     /// gate with `l` as a leaf of *some* candidate — the edges dirty bits
     /// propagate along (see `CandidateCache`).
     users: Vec<Vec<u32>>,
+    /// Sparse per-candidate selection bonus (see [`CoverProblem::set_bonus`]).
+    /// Empty (length 0) unless a bonus was ever set, so the unfused path pays
+    /// nothing.
+    bonus: Vec<Vec<f64>>,
 }
 
 /// Per-solve memoisation state of the area-recovery rounds.
@@ -231,7 +262,87 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
             candidates,
             refs,
             users,
+            bonus: Vec::new(),
         }
+    }
+
+    /// The original (representative) gates of the problem, in topological
+    /// order.
+    pub fn original_gates(&self) -> &[NodeId] {
+        &self.original_gates
+    }
+
+    /// The candidate list of `id` (empty for non-original nodes).
+    pub fn candidates_of(&self, id: NodeId) -> &[T::Candidate] {
+        &self.candidates[id.index()]
+    }
+
+    /// The selected candidate of `id` under `sel`.
+    ///
+    /// Panics when `id` is not an original gate of the problem.
+    pub fn selected<'s>(&'s self, sel: &CoverSelection, id: NodeId) -> &'s T::Candidate {
+        &self.candidates[id.index()][sel.best_index(id)]
+    }
+
+    /// Injects an extra candidate on `root` and returns its index in the
+    /// node's candidate list.
+    ///
+    /// This is the fusion hook: cones selected by one mapper become
+    /// additional candidates of another mapper's problem. The candidate's
+    /// leaves must be distinct nodes that topologically precede `root`
+    /// (asserted), exactly as for enumerated candidates.
+    ///
+    /// Injection keeps `CandidateCache` incrementality sound: every leaf of
+    /// the new candidate gains a `users`-list entry for `root`, so dirty-bit
+    /// invalidation reaches the injected cone exactly like an enumerated one.
+    /// The `users` lists stay sorted and deduplicated, preserving the
+    /// deterministic propagation order.
+    pub fn inject_candidate(&mut self, root: NodeId, cand: T::Candidate) -> usize {
+        let idx = root.index();
+        assert!(
+            !self.candidates[idx].is_empty(),
+            "injection root {root} is not an original gate of the problem"
+        );
+        for &l in self.target.leaves(&cand) {
+            assert!(
+                l.index() < idx,
+                "injected leaf {l} does not precede root {root}"
+            );
+            let list = &mut self.users[l.index()];
+            match list.binary_search(&(idx as u32)) {
+                Ok(_) => {}
+                Err(pos) => list.insert(pos, idx as u32),
+            }
+        }
+        self.candidates[idx].push(cand);
+        if !self.bonus.is_empty() && self.bonus[idx].len() < self.candidates[idx].len() {
+            self.bonus[idx].resize(self.candidates[idx].len(), 0.0);
+        }
+        self.candidates[idx].len() - 1
+    }
+
+    /// Grants candidate `cand_index` of `root` a selection bonus.
+    ///
+    /// The bonus is subtracted from the candidate's **area-flow comparison
+    /// key** in the delay pass and the area-recovery rounds — it biases which
+    /// candidate wins ties (and near-ties) without touching the arrival times
+    /// or area flows that are stored and propagated, so a problem with no
+    /// bonuses set is bit-identical to one where this method was never
+    /// called. A bonus is a pure function of `(root, cand_index)` and
+    /// constant across rounds, so `CandidateCache` memoisation stays exact.
+    pub fn set_bonus(&mut self, root: NodeId, cand_index: usize, bonus: f64) {
+        let idx = root.index();
+        assert!(
+            cand_index < self.candidates[idx].len(),
+            "bonus for nonexistent candidate {cand_index} of {root}"
+        );
+        if self.bonus.is_empty() {
+            self.bonus = vec![Vec::new(); self.candidates.len()];
+        }
+        if self.bonus[idx].len() < self.candidates[idx].len() {
+            self.bonus[idx].resize(self.candidates[idx].len(), 0.0);
+        }
+        self.bonus[idx][cand_index] = bonus;
     }
 
     /// Runs the covering dynamic program and emits the target netlist.
@@ -256,6 +367,16 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
     /// 4. **Extraction** — walk the selected candidates from the outputs and
     ///    emit the needed nodes through [`CoverTarget::emit`].
     pub fn solve(&self, params: &EngineParams) -> T::Netlist {
+        self.emit(&self.solve_selection(params))
+    }
+
+    /// Runs the covering dynamic program and returns the winning selection
+    /// without emitting a netlist (steps 1–4 of [`CoverProblem::solve`] minus
+    /// the final [`CoverTarget::emit`]).
+    ///
+    /// The fusion pipeline uses this to harvest the cones an ASIC cover
+    /// selects; plain mapping goes through [`CoverProblem::solve`].
+    pub fn solve_selection(&self, params: &EngineParams) -> CoverSelection {
         let net = self.choice.network();
         let target = self.target;
         let original_gates = &self.original_gates;
@@ -268,6 +389,15 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
                 acc += flow[l.index()] / refs[l.index()].max(1.0);
             }
             acc
+        };
+        // Selection-key bias (see `set_bonus`); `bonus` stays empty unless a
+        // bonus was ever granted, in which case the lookup is free.
+        let bonus_of = |idx: usize, cand_i: usize| -> f64 {
+            self.bonus
+                .get(idx)
+                .and_then(|b| b.get(cand_i))
+                .copied()
+                .unwrap_or(0.0)
         };
 
         // --------------------------------------------------------------
@@ -282,7 +412,7 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
             let mut chosen_key = (f64::INFINITY, f64::INFINITY);
             for (i, c) in cands.iter().enumerate() {
                 let arr = target.arrival(c, &arrival);
-                let af = area_flow(c, &flow);
+                let af = area_flow(c, &flow) - bonus_of(id.index(), i);
                 if (arr, af) < chosen_key {
                     chosen_key = (arr, af);
                     chosen = i;
@@ -353,7 +483,7 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
                     if !feasible {
                         continue;
                     }
-                    let af = area_flow(c, &flow);
+                    let af = area_flow(c, &flow) - bonus_of(idx, i);
                     if (af, arr) < chosen_key {
                         chosen_key = (af, arr);
                         chosen = i;
@@ -412,13 +542,19 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
         // Cover extraction.
         // --------------------------------------------------------------
         let needed = extract_needed(net, target, candidates, &best);
+        CoverSelection { best, needed }
+    }
+
+    /// Emits a selection (from [`CoverProblem::solve_selection`]) as the
+    /// target netlist.
+    pub fn emit(&self, sel: &CoverSelection) -> T::Netlist {
         let cover = Cover {
-            original_gates,
-            candidates,
-            best: &best,
-            needed: &needed,
+            original_gates: &self.original_gates,
+            candidates: &self.candidates,
+            best: &sel.best,
+            needed: &sel.needed,
         };
-        target.emit(net, &cover)
+        self.target.emit(self.choice.network(), &cover)
     }
 }
 
@@ -684,6 +820,12 @@ fn deref_cone<T: CoverTarget>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lut::{LutCandidate, LutTarget};
+    use crate::mapping::prepare_cuts;
+    use mch_choice::{build_mch, MchParams};
+    use mch_cut::{CutCost, CutCostModel};
+    use mch_logic::NetworkKind;
+    use mch_techlib::LutLibrary;
 
     #[test]
     fn slack_epsilon_tie_break_at_the_boundary() {
@@ -702,5 +844,90 @@ mod tests {
     fn slack_epsilon_is_the_engine_wide_constant() {
         // Pin the value: quality numbers and tie-breaks depend on it.
         assert_eq!(SLACK_EPS, 1e-9);
+    }
+
+    /// Regression (PR 9): injected candidates must take part in dirty-bit
+    /// invalidation. `inject_candidate` adds `users`-list entries for the new
+    /// cone's leaves; without them, a leaf whose `(arrival, flow)` changes in
+    /// an area round would leave the injected cone's root marked clean, and
+    /// the memoised solve would diverge from full recomputation exactly where
+    /// fusion had intervened.
+    #[test]
+    fn injected_candidates_keep_memoised_selection_bit_identical() {
+        let mut net = Network::with_name(NetworkKind::Aig, "inject-memo");
+        let a = net.add_inputs(4);
+        let b = net.add_inputs(4);
+        let mut carry = net.constant(false);
+        for i in 0..4 {
+            let (s, c) = net.full_adder(a[i], b[i], carry);
+            net.add_output(s);
+            carry = c;
+        }
+        net.add_output(carry);
+        let choice = build_mch(&net, &MchParams::area_oriented());
+        let lut = LutLibrary::k6();
+        // Aggressively truncated base cut set: plenty of cones are missing,
+        // so injection adds real structure, and selections keep shifting
+        // across area rounds (the invalidation traffic the test needs).
+        let mut narrow = prepare_cuts(&choice, 4, 2, CutCost::Hybrid, &CutCostModel::unit(), 1);
+        narrow.compact();
+        // A wider enumeration supplies the cones the narrow set lost.
+        let mut wide = prepare_cuts(&choice, 6, 8, CutCost::Hybrid, &CutCostModel::unit(), 1);
+        wide.compact();
+        let target = LutTarget::new(&lut, &narrow);
+
+        let build_injected = || {
+            let mut problem = CoverProblem::new(&choice, &target);
+            let roots: Vec<NodeId> = problem.original_gates().to_vec();
+            let mut injected = 0usize;
+            for id in roots {
+                for cut in wide.of(id).iter() {
+                    if cut.is_trivial() || cut.size() > lut.k() {
+                        continue;
+                    }
+                    let (reduced, support) = cut.function().shrink_to_support();
+                    let leaves: Vec<NodeId> =
+                        support.iter().map(|&i| cut.leaves()[i]).collect();
+                    if leaves.is_empty()
+                        || problem
+                            .candidates_of(id)
+                            .iter()
+                            .any(|c| c.matches_cone(&leaves, &reduced))
+                    {
+                        continue;
+                    }
+                    let i = problem.inject_candidate(id, LutCandidate::from_cone(leaves, reduced));
+                    problem.set_bonus(id, i, 0.25 * lut.area());
+                    injected += 1;
+                }
+            }
+            assert!(injected > 0, "no cone was injected; the test proves nothing");
+            problem
+        };
+
+        for objective in [
+            MappingObjective::Delay,
+            MappingObjective::Balanced,
+            MappingObjective::Area,
+        ] {
+            for rounds in [1, 3, 8] {
+                let problem = build_injected();
+                let memo = EngineParams {
+                    objective,
+                    area_rounds: rounds,
+                    exact_area: false,
+                    memoise: true,
+                };
+                let full = EngineParams {
+                    memoise: false,
+                    ..memo
+                };
+                assert_eq!(
+                    problem.emit(&problem.solve_selection(&memo)),
+                    problem.emit(&problem.solve_selection(&full)),
+                    "{objective:?} with {rounds} rounds diverged under memoisation"
+                );
+            }
+        }
     }
 }

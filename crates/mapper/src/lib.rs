@@ -40,6 +40,7 @@
 
 mod asic;
 pub mod engine;
+pub mod fusion;
 mod lut;
 mod mapping;
 mod netlist;
@@ -47,7 +48,8 @@ mod netlist;
 pub use asic::{
     library_cost_model, map_asic, map_asic_network, map_asic_with_cuts, AsicMapParams, AsicTarget,
 };
-pub use engine::{CoverProblem, CoverTarget, EngineParams, SLACK_EPS};
+pub use engine::{CoverProblem, CoverSelection, CoverTarget, EngineParams, SLACK_EPS};
+pub use fusion::{map_lut_fused, map_lut_fused_network, FusionMode};
 pub use lut::{map_lut, map_lut_network, map_lut_with_cuts, LutMapParams, LutTarget};
 pub use mapping::{prepare_cuts, MappingObjective};
 pub use mch_cut::{CutCost, CutCostModel, CutCosts};

@@ -7,6 +7,7 @@
 //! cost model is the LUT library's uniform delay/area.
 
 use crate::engine::{cover, Cover, CoverTarget, EngineParams};
+use crate::fusion::FusionMode;
 use crate::mapping::{prepare_cuts, MappingObjective};
 use crate::netlist::{LutNetlist, NetRef};
 use mch_choice::ChoiceNetwork;
@@ -41,6 +42,10 @@ pub struct LutMapParams {
     /// path, results are identical for every value. Defaults to
     /// [`mch_cut::default_threads`].
     pub threads: usize,
+    /// Cross-mapper fusion mode (see [`crate::fusion`]). Off by default; only
+    /// honoured by [`crate::fusion::map_lut_fused`], which has the cell
+    /// library the ASIC guide pass needs — [`map_lut`] itself ignores it.
+    pub fusion: FusionMode,
 }
 
 impl LutMapParams {
@@ -54,6 +59,7 @@ impl LutMapParams {
             memoise: true,
             cut_ranking: objective.default_ranking(),
             threads: mch_cut::default_threads(),
+            fusion: FusionMode::Off,
         }
     }
 
@@ -87,7 +93,14 @@ impl LutMapParams {
         self
     }
 
-    fn engine_params(&self) -> EngineParams {
+    /// Returns the same parameters with an explicit fusion mode (see
+    /// [`crate::fusion::map_lut_fused`]).
+    pub fn with_fusion(mut self, fusion: FusionMode) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    pub(crate) fn engine_params(&self) -> EngineParams {
         EngineParams {
             objective: self.objective,
             area_rounds: self.area_rounds,
@@ -112,6 +125,22 @@ impl Default for LutMapParams {
 pub struct LutCandidate {
     leaves: Vec<NodeId>,
     function: TruthTable,
+}
+
+impl LutCandidate {
+    /// Builds a candidate from a harvested ASIC cone (the fusion injection —
+    /// see `fusion.rs`). `leaves` must be sorted, distinct, non-empty and
+    /// `function` their support-reduced cone function.
+    pub(crate) fn from_cone(leaves: Vec<NodeId>, function: TruthTable) -> Self {
+        debug_assert!(!leaves.is_empty());
+        debug_assert!(leaves.windows(2).all(|w| w[0] < w[1]));
+        LutCandidate { leaves, function }
+    }
+
+    /// Whether this candidate covers exactly the given cone.
+    pub(crate) fn matches_cone(&self, leaves: &[NodeId], function: &TruthTable) -> bool {
+        self.leaves == leaves && self.function == *function
+    }
 }
 
 /// The K-LUT instantiation of the covering engine's [`CoverTarget`].
@@ -300,7 +329,7 @@ impl CoverTarget for LutTarget<'_> {
 /// entries in the paper (Table II).
 pub fn map_lut(choice: &ChoiceNetwork, lut: &LutLibrary, params: &LutMapParams) -> LutNetlist {
     // The unit model is exact for LUTs: one level, one LUT per cut.
-    let cuts = prepare_cuts(
+    let mut cuts = prepare_cuts(
         choice,
         lut.k(),
         params.cut_limit,
@@ -308,6 +337,11 @@ pub fn map_lut(choice: &ChoiceNetwork, lut: &LutLibrary, params: &LutMapParams) 
         &CutCostModel::unit(),
         params.threads,
     );
+    // Choice transfer leaves dead spans behind (`commit_extension` cannot
+    // always rewrite in place); reclaim them before covering so the arena —
+    // and everything accounted against `FlowBudget::max_cut_arena_slots` —
+    // is dense. `compact` preserves every node's cut list byte-for-byte.
+    cuts.compact();
     map_lut_with_cuts(choice, lut, &cuts, params)
 }
 

@@ -316,6 +316,59 @@ mod tests {
     }
 
     #[test]
+    fn compaction_after_transfer_preserves_cut_lists_and_netlists() {
+        // Regression (PR 9): choice transfer leaves `commit_extension` waste
+        // in the arena, and no flow reclaimed it before covering. `compact`
+        // must preserve every node's cut list byte-for-byte — and therefore
+        // the mapped netlists — while dropping the waste to zero.
+        let mut net = Network::with_name(NetworkKind::Aig, "adder8");
+        let a = net.add_inputs(8);
+        let b = net.add_inputs(8);
+        let mut carry = net.constant(false);
+        for i in 0..8 {
+            let (s, c) = net.full_adder(a[i], b[i], carry);
+            net.add_output(s);
+            carry = c;
+        }
+        net.add_output(carry);
+        let mch = build_mch(&net, &MchParams::area_oriented());
+        let wasteful = prepare_cuts(&mch, 4, 8, CutCost::Hybrid, &CutCostModel::unit(), 1);
+        assert!(
+            wasteful.wasted_slots() > 0,
+            "adder8 no longer produces transfer waste; pick a choicier network"
+        );
+        let mut compacted = wasteful.clone();
+        let reclaimed = compacted.compact();
+        assert_eq!(reclaimed, wasteful.wasted_slots());
+        assert_eq!(compacted.wasted_slots(), 0);
+        for id in mch.network().node_ids() {
+            let (a, b) = (wasteful.of(id), compacted.of(id));
+            assert_eq!(a.len(), b.len(), "cut count changed at {id}");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.leaves(), y.leaves(), "leaves changed at {id}");
+                assert_eq!(x.function(), y.function(), "function changed at {id}");
+                assert_eq!(
+                    x.costs().arrival,
+                    y.costs().arrival,
+                    "arrival changed at {id}"
+                );
+                assert_eq!(
+                    x.costs().flow.to_bits(),
+                    y.costs().flow.to_bits(),
+                    "flow changed at {id}"
+                );
+            }
+        }
+        let lut = mch_techlib::LutLibrary::k4();
+        let params = crate::lut::LutMapParams::default();
+        assert_eq!(
+            crate::lut::map_lut_with_cuts(&mch, &lut, &wasteful, &params),
+            crate::lut::map_lut_with_cuts(&mch, &lut, &compacted, &params),
+            "compaction changed the mapped netlist"
+        );
+    }
+
+    #[test]
     fn objective_default_is_balanced() {
         assert_eq!(MappingObjective::default(), MappingObjective::Balanced);
     }

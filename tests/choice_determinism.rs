@@ -174,6 +174,47 @@ fn full_flows_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn fused_flows_are_identical_across_thread_counts() {
+    // The ASIC-guided fused LUT flow runs TWO cover problems per circuit, so
+    // it has twice the surface for scheduling to leak into a result: the
+    // guide cover's selection feeds candidate injection and ranking bias.
+    // Every fusion mode must still be byte-identical at every thread count,
+    // and Off must be byte-identical to the plain LUT flow.
+    use mch::core::{lut_flow_mch_fused, FusionMode};
+    let lib = asap7_lite();
+    let lut = LutLibrary::k6();
+    for i in 0..3 {
+        let net = arbitrary_network(i);
+        let plain_serial = lut_flow_mch(&net, &lut, &MchConfig::lut_area().with_threads(1));
+        for mode in [FusionMode::Off, FusionMode::Bias, FusionMode::Inject, FusionMode::Full] {
+            let config = |threads: usize| {
+                MchConfig::lut_fusion().with_fusion(mode).with_threads(threads)
+            };
+            let serial = lut_flow_mch_fused(&net, &lut, &lib, &config(1));
+            assert!(serial.verified, "case {i} ({mode:?}): not equivalent");
+            if mode == FusionMode::Off {
+                assert_eq!(
+                    plain_serial.netlist, serial.netlist,
+                    "case {i}: fusion Off diverged from the plain LUT flow"
+                );
+            }
+            for threads in THREAD_COUNTS {
+                let fused = lut_flow_mch_fused(&net, &lut, &lib, &config(threads));
+                assert_eq!(
+                    serial.netlist, fused.netlist,
+                    "case {i} ({mode:?}): {threads}-thread fused flow diverged"
+                );
+                assert_eq!(
+                    (serial.luts, serial.levels),
+                    (fused.luts, fused.levels),
+                    "case {i} ({mode:?}): {threads}-thread fused metrics diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn verify_stays_empty_over_the_random_suite() {
     // Property sweep: every choice class the construction records — one-to-one
     // styled candidates, NPN-replayed resyntheses, MFFC rewrites — must

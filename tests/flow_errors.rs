@@ -5,7 +5,7 @@
 //! with the same rendered message — never with an internal assertion ten
 //! frames deep.
 
-use mch::core::{FlowError, MchConfig};
+use mch::core::{FlowError, Job, MappingService, MchConfig};
 use mch::benchmarks::demo_adder_gt;
 use mch::logic::{Network, NetworkKind, TruthTable};
 use mch::mapper::MappingObjective;
@@ -16,6 +16,22 @@ fn outputless() -> Network {
     let a = n.add_input();
     let b = n.add_input();
     let _ = n.and2(a, b);
+    n
+}
+
+fn constant_only() -> Network {
+    let mut n = Network::with_name(NetworkKind::Aig, "constant-only");
+    n.add_output(n.constant(true));
+    n.add_output(n.constant(false));
+    n
+}
+
+fn zero_gate() -> Network {
+    let mut n = Network::with_name(NetworkKind::Aig, "zero-gate");
+    let a = n.add_input();
+    let b = n.add_input();
+    n.add_output(a);
+    n.add_output(!b);
     n
 }
 
@@ -89,6 +105,75 @@ fn panicking_wrappers_render_the_structured_error() {
     assert!(
         message.contains("invalid network"),
         "wrapper panic lost the structured message: {message}"
+    );
+}
+
+#[test]
+fn degenerate_networks_survive_the_fusion_path_without_panics() {
+    // Constant-only and zero-gate networks have no gates for the ASIC guide
+    // cover to harvest; both the plain fused entry point and the service job
+    // must still return a verified trivial netlist (or a structured error),
+    // never panic.
+    for net in [constant_only(), zero_gate()] {
+        for cfg in [
+            MchConfig::lut_area(),
+            MchConfig::lut_fusion(),
+            MchConfig::lut_fusion().with_fusion(mch::core::FusionMode::Bias),
+            MchConfig::lut_fusion().with_fusion(mch::core::FusionMode::Inject),
+        ] {
+            let label = format!("{}/{}", net.name(), cfg.name);
+            let result =
+                mch::core::try_lut_flow_mch_fused(&net, &LutLibrary::k6(), &asap7_lite(), &cfg)
+                    .unwrap_or_else(|e| panic!("{label}: unexpected flow error: {e}"));
+            assert!(result.verified, "{label}: trivial netlist not equivalent");
+            // A complemented passthrough output may legitimately cost one
+            // inverter LUT; anything beyond that is not a trivial netlist.
+            assert!(
+                result.luts <= net.output_count(),
+                "{label}: gate-free input produced {} LUTs",
+                result.luts
+            );
+
+            let service = MappingService::new();
+            let reports = service.run_batch(vec![Job::lut_fused(
+                label.clone(),
+                net.clone(),
+                LutLibrary::k6(),
+                asap7_lite(),
+                cfg.clone(),
+            )]);
+            let output = reports[0]
+                .outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{label}: service job failed: {e}"));
+            assert!(output.verified(), "{label}: service netlist not equivalent");
+        }
+    }
+
+    // Outputless networks still hit the validate_network preflight on the
+    // fused entry points, same as every other flow.
+    let err = mch::core::try_lut_flow_mch_fused(
+        &outputless(),
+        &LutLibrary::k6(),
+        &asap7_lite(),
+        &MchConfig::lut_fusion(),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, FlowError::InvalidNetwork { .. }),
+        "expected InvalidNetwork, got {err}"
+    );
+    let service = MappingService::new();
+    let reports = service.run_batch(vec![Job::lut_fused(
+        "outputless",
+        outputless(),
+        LutLibrary::k6(),
+        asap7_lite(),
+        MchConfig::lut_fusion(),
+    )]);
+    assert!(
+        matches!(reports[0].outcome, Err(FlowError::InvalidNetwork { .. })),
+        "service must surface the structured preflight error"
     );
 }
 

@@ -125,6 +125,49 @@ fn every_flow_network_thread_combination_maps_equivalently() {
 }
 
 #[test]
+fn fused_mappings_stay_equivalent_across_kinds_and_threads() {
+    // The ASIC-guided fused LUT mapper injects guide cones as extra
+    // candidates and biases the ranking; a bad injection (wrong leaves, a
+    // stale users list, a cone emitted for the wrong root) changes some
+    // output word here with overwhelming probability.
+    use mch::mapper::{map_lut_fused, FusionMode};
+    let lut = LutLibrary::k6();
+    let lib = asap7_lite();
+    let mut checked = 0usize;
+    for (i, &kind) in [NetworkKind::Aig, NetworkKind::Xag, NetworkKind::Mig]
+        .iter()
+        .enumerate()
+    {
+        let aig = random_logic("equiv-fused", 14, 4, 300, 0xF05E_0000 + i as u64);
+        let net = convert(&aig, kind);
+        let patterns = stimulus(net.input_count(), 0xFEED + i as u64);
+        let reference = simulate(&net, &patterns);
+        let choice = build_mch(&net, &MchParams::area_oriented());
+        for mode in [FusionMode::Bias, FusionMode::Inject, FusionMode::Full] {
+            for threads in THREADS {
+                let mapped = map_lut_fused(
+                    &choice,
+                    &lut,
+                    &lib,
+                    &LutMapParams::new(MappingObjective::Area)
+                        .with_threads(threads)
+                        .with_fusion(mode),
+                );
+                assert_eq!(
+                    mapped.simulate(&patterns),
+                    reference,
+                    "{kind:?} fused LUT mapping ({mode:?}, {threads} thread(s)) \
+                     is not equivalent to the source network"
+                );
+                checked += 1;
+            }
+        }
+    }
+    // 3 kinds × 3 fusion modes × 2 thread counts.
+    assert_eq!(checked, 18, "fused configuration cross product shrank");
+}
+
+#[test]
 fn objectives_and_engine_knobs_stay_equivalent() {
     // The cross product above fixes the balanced objective; here the
     // remaining engine paths — pure-area (no required times), strict-delay
