@@ -111,6 +111,7 @@ fn fingerprint(report: &JobReport) -> String {
             assert!(r.verified, "{} did not verify", report.name);
             write_lut_blif(&r.netlist)
         }
+        JobOutput::Sweep(_) => panic!("{}: this workload has no sweep jobs", report.name),
     };
     format!("{bytes}\n{:?}", out.degradation())
 }
@@ -199,6 +200,7 @@ fn main() {
             mch_core::JobKind::AsicMch(_) => "asic",
             mch_core::JobKind::LutMch(_) => "lut",
             mch_core::JobKind::LutFusedMch(_, _) => "lut-fused",
+            mch_core::JobKind::Sweep(_, _) => "sweep",
         };
         let _ = writeln!(
             json,

@@ -61,7 +61,11 @@ const PLAN_CHUNKS_PER_WORKER: usize = 4;
 const PLAN_MIN_CHUNK: usize = 32;
 
 /// Parameters of the MCH construction (the inputs of Algorithm 1).
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field (including `threads`); callers that key
+/// caches on the choice-relevant subset normalise `threads` first — choice
+/// construction is thread-invariant.
+#[derive(Clone, PartialEq, Debug)]
 pub struct MchParams {
     /// Representations mixed in through one-to-one mapping (Alg. 1, line 1).
     pub secondary: Vec<NetworkKind>,

@@ -34,6 +34,12 @@ pub enum FlowError {
         /// The original panic payload, rendered as text.
         message: String,
     },
+    /// A service job was malformed before any flow ran (an empty sweep, a
+    /// nested sweep).
+    InvalidJob {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -44,6 +50,7 @@ impl fmt::Display for FlowError {
             FlowError::WorkerPanic { message } => {
                 write!(f, "flow phase panicked: {message}")
             }
+            FlowError::InvalidJob { reason } => write!(f, "invalid job: {reason}"),
         }
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::budget::{plan_degradation, shrink_cut_limit, DegradationReport, DegradationStep};
 use crate::error::panic_message;
+use crate::prepared::{flow_fingerprint, ChoiceKey, PreparedFlow, PreparedFlowCache};
 use crate::{validate_library, validate_lut_library, validate_network, FlowBudget, FlowError};
 use crate::MchConfig;
 use mch_choice::{
@@ -12,8 +13,8 @@ use mch_choice::{
 use mch_cut::{CutCost, WorkerPool};
 use mch_logic::{Network, NetworkKind, cec};
 use mch_mapper::{
-    map_asic, map_lut, map_lut_fused, AsicMapParams, CellNetlist, FusionMode, LutMapParams,
-    LutNetlist, MappingObjective,
+    map_asic, map_lut, AsicMapParams, CellNetlist, FusionMode, LutMapParams, LutNetlist,
+    MappingObjective,
 };
 use mch_opt::{compress2rs_like, compress_round, graph_map};
 use mch_techlib::{Library, LutLibrary};
@@ -41,6 +42,43 @@ fn unwrap_flow<T>(result: Result<T, FlowError>) -> T {
     }
 }
 
+/// The service-owned shared state an MCH flow may read: the output-invisible
+/// NPN resynthesis cache and the warm-start [`PreparedFlowCache`]. Solo flows
+/// (the public `try_*_with_budget` entry points) run with
+/// [`FlowShared::default()`] — no sharing, byte-identical results either way.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct FlowShared<'a> {
+    /// Service-wide NPN resynthesis cache (see [`build_mch_with_stats_shared`]).
+    pub(crate) npn: Option<&'a Arc<SharedNpnCache>>,
+    /// Service-wide warm-start cache of prepared flows.
+    pub(crate) prepared: Option<&'a PreparedFlowCache>,
+}
+
+/// Obtains the [`PreparedFlow`] for `(network, post-degradation config)` —
+/// from the warm-start cache when one is attached and holds a verified match,
+/// built cold otherwise (and offered to the cache for future jobs). Cache
+/// faults (injected via the `cache::prepared_hit` / `cache::prepared_insert`
+/// failpoints) are contained inside the cache wrappers: the flow silently
+/// degrades to the cold path.
+fn obtain_prepared(
+    network: &Network,
+    config: &MchConfig,
+    shared: FlowShared<'_>,
+) -> Arc<PreparedFlow> {
+    let key = ChoiceKey::from_config(config);
+    let fingerprint = flow_fingerprint(network, &key);
+    if let Some(cache) = shared.prepared {
+        if let Some(flow) = cache.lookup_contained(fingerprint, network, &key) {
+            return flow;
+        }
+        let flow = Arc::new(PreparedFlow::build(network, config, key, fingerprint, shared.npn));
+        cache.insert_contained(Arc::clone(&flow));
+        flow
+    } else {
+        Arc::new(PreparedFlow::build(network, config, key, fingerprint, shared.npn))
+    }
+}
+
 /// Builds the mixed choice network for an MCH flow: the per-node candidates of
 /// Algorithm 2, optionally augmented with whole graph-mapped views of the
 /// design (one per secondary representation).
@@ -51,7 +89,7 @@ fn unwrap_flow<T>(result: Result<T, FlowError>) -> T {
 /// — the result is identical for every `config.threads` value. Each
 /// graph-mapping job runs its internal enumeration serially (the pool's
 /// recursion guard), so the pool is never deadlocked by nested phases.
-fn build_flow_choices(
+pub(crate) fn build_flow_choices(
     network: &Network,
     config: &MchConfig,
     shared_npn: Option<&Arc<SharedNpnCache>>,
@@ -252,7 +290,7 @@ fn asic_flow_mch_impl(
     library: &Library,
     config: &MchConfig,
     budget: &FlowBudget,
-    shared_npn: Option<&Arc<SharedNpnCache>>,
+    shared: FlowShared<'_>,
 ) -> AsicFlowResult {
     let start = Instant::now();
     let (config, mut report) = plan_degradation(
@@ -261,7 +299,7 @@ fn asic_flow_mch_impl(
         config,
         budget,
     );
-    let choices = build_flow_choices(network, &config, shared_npn);
+    let prepared = obtain_prepared(network, &config, shared);
     let mut params = AsicMapParams::new(config.objective)
         .with_ranking(config.cut_ranking)
         .with_threads(config.threads)
@@ -272,7 +310,7 @@ fn asic_flow_mch_impl(
     // The choice network is deterministically sized, so this re-check is as
     // reproducible as the pre-enumeration one.
     params.cut_limit = shrink_cut_limit(
-        choices.network().len(),
+        prepared.choices().network().len(),
         params.cut_limit,
         budget.max_cut_arena_slots,
         &mut report,
@@ -287,7 +325,7 @@ fn asic_flow_mch_impl(
                 .with_exact_area(false);
         }
     }
-    let netlist = map_asic(&choices, library, &params);
+    let netlist = prepared.map_asic(library, &params);
     finish_asic(config.name.clone(), network, netlist, library, start, report)
 }
 
@@ -327,22 +365,23 @@ pub fn try_asic_flow_mch_with_budget(
     config: &MchConfig,
     budget: &FlowBudget,
 ) -> Result<AsicFlowResult, FlowError> {
-    try_asic_flow_mch_shared(network, library, config, budget, None)
+    try_asic_flow_mch_shared(network, library, config, budget, FlowShared::default())
 }
 
-/// [`try_asic_flow_mch_with_budget`] over an optional service-wide NPN cache
-/// — the per-job entry point of the [`MappingService`](crate::service).
-/// Sharing is output-invisible (see [`build_mch_with_stats_shared`]).
+/// [`try_asic_flow_mch_with_budget`] over the service-owned shared state
+/// ([`FlowShared`]: NPN cache + warm-start cache) — the per-job entry point
+/// of the [`MappingService`](crate::service). Sharing is output-invisible
+/// (see [`build_mch_with_stats_shared`] and [`PreparedFlowCache`]).
 pub(crate) fn try_asic_flow_mch_shared(
     network: &Network,
     library: &Library,
     config: &MchConfig,
     budget: &FlowBudget,
-    shared_npn: Option<&Arc<SharedNpnCache>>,
+    shared: FlowShared<'_>,
 ) -> Result<AsicFlowResult, FlowError> {
     validate_network(network)?;
     validate_library(library)?;
-    contain(|| asic_flow_mch_impl(network, library, config, budget, shared_npn))
+    contain(|| asic_flow_mch_impl(network, library, config, budget, shared))
 }
 
 /// Baseline FPGA flow: plain K-LUT mapping of the input network.
@@ -383,7 +422,7 @@ fn lut_flow_mch_impl(
     lut: &LutLibrary,
     config: &MchConfig,
     budget: &FlowBudget,
-    shared_npn: Option<&Arc<SharedNpnCache>>,
+    shared: FlowShared<'_>,
 ) -> LutFlowResult {
     let start = Instant::now();
     let (config, mut report) = plan_degradation(
@@ -392,7 +431,7 @@ fn lut_flow_mch_impl(
         config,
         budget,
     );
-    let choices = build_flow_choices(network, &config, shared_npn);
+    let prepared = obtain_prepared(network, &config, shared);
     let mut params = LutMapParams::new(config.objective)
         .with_ranking(config.cut_ranking)
         .with_threads(config.threads)
@@ -401,7 +440,7 @@ fn lut_flow_mch_impl(
         params = params.with_area_rounds(rounds);
     }
     params.cut_limit = shrink_cut_limit(
-        choices.network().len(),
+        prepared.choices().network().len(),
         params.cut_limit,
         budget.max_cut_arena_slots,
         &mut report,
@@ -416,7 +455,7 @@ fn lut_flow_mch_impl(
                 .with_exact_area(false);
         }
     }
-    let netlist = map_lut(&choices, lut, &params);
+    let netlist = prepared.map_lut(lut, &params);
     finish_lut(config.name.clone(), network, netlist, start, report)
 }
 
@@ -432,7 +471,7 @@ fn lut_flow_mch_fused_impl(
     library: &Library,
     config: &MchConfig,
     budget: &FlowBudget,
-    shared_npn: Option<&Arc<SharedNpnCache>>,
+    shared: FlowShared<'_>,
 ) -> LutFlowResult {
     let start = Instant::now();
     let (config, mut report) = plan_degradation(
@@ -441,7 +480,7 @@ fn lut_flow_mch_fused_impl(
         config,
         budget,
     );
-    let choices = build_flow_choices(network, &config, shared_npn);
+    let prepared = obtain_prepared(network, &config, shared);
     let mut params = LutMapParams::new(config.objective)
         .with_ranking(config.cut_ranking)
         .with_threads(config.threads)
@@ -451,7 +490,7 @@ fn lut_flow_mch_fused_impl(
         params = params.with_area_rounds(rounds);
     }
     params.cut_limit = shrink_cut_limit(
-        choices.network().len(),
+        prepared.choices().network().len(),
         params.cut_limit,
         budget.max_cut_arena_slots,
         &mut report,
@@ -461,7 +500,8 @@ fn lut_flow_mch_fused_impl(
     // slot cap, fusion is the thing to shed — the plain LUT cover is always
     // a complete, valid result.
     if let Some(cap) = budget.max_cut_arena_slots {
-        let both_arenas = choices
+        let both_arenas = prepared
+            .choices()
             .network()
             .len()
             .saturating_mul(params.cut_limit)
@@ -487,7 +527,7 @@ fn lut_flow_mch_fused_impl(
                 .with_exact_area(false);
         }
     }
-    let netlist = map_lut_fused(&choices, lut, library, &params);
+    let netlist = prepared.map_lut_fused(lut, library, &params);
     finish_lut(config.name.clone(), network, netlist, start, report)
 }
 
@@ -532,23 +572,23 @@ pub fn try_lut_flow_mch_fused_with_budget(
     config: &MchConfig,
     budget: &FlowBudget,
 ) -> Result<LutFlowResult, FlowError> {
-    try_lut_flow_mch_fused_shared(network, lut, library, config, budget, None)
+    try_lut_flow_mch_fused_shared(network, lut, library, config, budget, FlowShared::default())
 }
 
-/// [`try_lut_flow_mch_fused_with_budget`] over an optional service-wide NPN
-/// cache — the per-job entry point of the [`MappingService`](crate::service).
+/// [`try_lut_flow_mch_fused_with_budget`] over the service-owned shared
+/// state — the per-job entry point of the [`MappingService`](crate::service).
 pub(crate) fn try_lut_flow_mch_fused_shared(
     network: &Network,
     lut: &LutLibrary,
     library: &Library,
     config: &MchConfig,
     budget: &FlowBudget,
-    shared_npn: Option<&Arc<SharedNpnCache>>,
+    shared: FlowShared<'_>,
 ) -> Result<LutFlowResult, FlowError> {
     validate_network(network)?;
     validate_lut_library(lut)?;
     validate_library(library)?;
-    contain(|| lut_flow_mch_fused_impl(network, lut, library, config, budget, shared_npn))
+    contain(|| lut_flow_mch_fused_impl(network, lut, library, config, budget, shared))
 }
 
 /// MCH FPGA flow: K-LUT mapping over a mixed choice network (the Table-II
@@ -581,21 +621,21 @@ pub fn try_lut_flow_mch_with_budget(
     config: &MchConfig,
     budget: &FlowBudget,
 ) -> Result<LutFlowResult, FlowError> {
-    try_lut_flow_mch_shared(network, lut, config, budget, None)
+    try_lut_flow_mch_shared(network, lut, config, budget, FlowShared::default())
 }
 
-/// [`try_lut_flow_mch_with_budget`] over an optional service-wide NPN cache
-/// — the per-job entry point of the [`MappingService`](crate::service).
+/// [`try_lut_flow_mch_with_budget`] over the service-owned shared state —
+/// the per-job entry point of the [`MappingService`](crate::service).
 pub(crate) fn try_lut_flow_mch_shared(
     network: &Network,
     lut: &LutLibrary,
     config: &MchConfig,
     budget: &FlowBudget,
-    shared_npn: Option<&Arc<SharedNpnCache>>,
+    shared: FlowShared<'_>,
 ) -> Result<LutFlowResult, FlowError> {
     validate_network(network)?;
     validate_lut_library(lut)?;
-    contain(|| lut_flow_mch_impl(network, lut, config, budget, shared_npn))
+    contain(|| lut_flow_mch_impl(network, lut, config, budget, shared))
 }
 
 /// Fallible [`build_mch`](mch_choice::build_mch): validates the network up

@@ -30,12 +30,14 @@ mod budget;
 mod config;
 mod error;
 mod flow;
+mod prepared;
 mod report;
 pub mod service;
 
 pub use budget::{DegradationReport, DegradationStep, FlowBudget, StrategyClass};
 pub use config::MchConfig;
 pub use error::{validate_library, validate_lut_library, validate_network, FlowError};
+pub use prepared::{PreparedFlow, PreparedFlowCache};
 pub use flow::{
     asic_flow_baseline, asic_flow_dch, asic_flow_mch, lut_flow_baseline, lut_flow_mch,
     lut_flow_mch_fused, prepare_input, try_asic_flow_baseline, try_asic_flow_dch,

@@ -48,8 +48,10 @@
 
 use crate::flow::{
     contain, try_asic_flow_mch_shared, try_lut_flow_mch_fused_shared, try_lut_flow_mch_shared,
+    FlowShared,
 };
-use crate::{AsicFlowResult, FlowBudget, FlowError, LutFlowResult, MchConfig};
+use crate::prepared::PreparedFlowCache;
+use crate::{AsicFlowResult, DegradationReport, FlowBudget, FlowError, LutFlowResult, MchConfig};
 use mch_choice::SharedNpnCache;
 use mch_cut::WorkerPool;
 use mch_logic::Network;
@@ -70,6 +72,14 @@ pub enum JobKind {
     /// [`mch_mapper::fusion`]). With [`FusionMode::Off`](mch_mapper::FusionMode)
     /// in the config this is byte-identical to [`JobKind::LutMch`].
     LutFusedMch(LutLibrary, Library),
+    /// A parameter sweep: the base flow kind run once per variant config over
+    /// one circuit, in variant order. The service's warm-start cache
+    /// ([`PreparedFlowCache`]) makes the variants after the first reuse the
+    /// choice network and cut/candidate enumeration whenever their
+    /// choice-relevant config subset matches — every variant's bytes are
+    /// still identical to a cold solo run of that variant. Sweeps cannot
+    /// nest; the base kind must be one of the three flow kinds.
+    Sweep(Box<JobKind>, Vec<MchConfig>),
 }
 
 /// One unit of service work: a circuit, the flow to run on it, its
@@ -141,6 +151,31 @@ impl Job {
         }
     }
 
+    /// A parameter-sweep job: runs `kind` once per config in `variants`
+    /// (in order) over one circuit, reusing the params-independent half of
+    /// the flow across variants via the service's warm-start cache. The
+    /// job-level `config` field is set to the first variant but is **not**
+    /// consulted — the variant list is authoritative. An attached
+    /// [`FlowBudget`] applies to every variant independently.
+    pub fn sweep(
+        name: impl Into<String>,
+        network: Network,
+        kind: JobKind,
+        variants: Vec<MchConfig>,
+    ) -> Job {
+        let config = variants
+            .first()
+            .cloned()
+            .unwrap_or_else(MchConfig::balanced);
+        Job {
+            name: name.into(),
+            network,
+            kind: JobKind::Sweep(Box::new(kind), variants),
+            config,
+            budget: None,
+        }
+    }
+
     /// Returns the same job under a [`FlowBudget`]; on breach the job
     /// degrades through the deterministic ladder instead of failing.
     pub fn with_budget(mut self, budget: FlowBudget) -> Job {
@@ -156,22 +191,41 @@ pub enum JobOutput {
     Asic(AsicFlowResult),
     /// Result of a [`JobKind::LutMch`] job.
     Lut(LutFlowResult),
+    /// Result of a [`JobKind::Sweep`] job: one [`JobReport`] per variant, in
+    /// variant order, named `<job>#<index>`. Each variant's outcome is
+    /// independent — a variant failure does not fail its siblings or the
+    /// sweep job itself.
+    Sweep(Vec<JobReport>),
 }
 
+/// The degradation report of a sweep job as a whole: per-variant degradation
+/// lives on the variant results.
+static EMPTY_DEGRADATION: DegradationReport = DegradationReport {
+    steps: Vec::new(),
+    deadline_breached: false,
+};
+
 impl JobOutput {
-    /// Whether the mapped netlist was verified equivalent to the input.
+    /// Whether the mapped netlist was verified equivalent to the input; for
+    /// a sweep, whether **every** variant succeeded and verified.
     pub fn verified(&self) -> bool {
         match self {
             JobOutput::Asic(r) => r.verified,
             JobOutput::Lut(r) => r.verified,
+            JobOutput::Sweep(reports) => reports
+                .iter()
+                .all(|r| r.outcome.as_ref().is_ok_and(|out| out.verified())),
         }
     }
 
     /// What the budget supervisor shed to keep the job inside its budget.
+    /// A sweep job reports no degradation of its own — inspect the variant
+    /// reports in [`JobOutput::as_sweep`] instead.
     pub fn degradation(&self) -> &crate::DegradationReport {
         match self {
             JobOutput::Asic(r) => &r.degradation,
             JobOutput::Lut(r) => &r.degradation,
+            JobOutput::Sweep(_) => &EMPTY_DEGRADATION,
         }
     }
 
@@ -179,7 +233,7 @@ impl JobOutput {
     pub fn as_asic(&self) -> Option<&AsicFlowResult> {
         match self {
             JobOutput::Asic(r) => Some(r),
-            JobOutput::Lut(_) => None,
+            _ => None,
         }
     }
 
@@ -187,7 +241,15 @@ impl JobOutput {
     pub fn as_lut(&self) -> Option<&LutFlowResult> {
         match self {
             JobOutput::Lut(r) => Some(r),
-            JobOutput::Asic(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The per-variant reports, if this was a sweep job.
+    pub fn as_sweep(&self) -> Option<&[JobReport]> {
+        match self {
+            JobOutput::Sweep(reports) => Some(reports),
+            _ => None,
         }
     }
 }
@@ -223,6 +285,16 @@ pub struct ServiceStats {
     pub shared_npn_hits: usize,
     /// Class syntheses performed (once per class per process).
     pub shared_npn_misses: usize,
+    /// Prepared flows currently held by the warm-start cache.
+    pub prepared_entries: usize,
+    /// Estimated bytes currently held by the warm-start cache.
+    pub prepared_bytes: usize,
+    /// Flow preparations served from the warm-start cache.
+    pub prepared_hits: usize,
+    /// Flow preparations that found no cached artifact.
+    pub prepared_misses: usize,
+    /// Prepared flows evicted by the warm-start cache's byte bound.
+    pub prepared_evictions: usize,
 }
 
 /// One slot per submitted job: the input is taken exactly once (guarded by
@@ -242,6 +314,7 @@ struct JobSlot {
 #[derive(Debug)]
 pub struct MappingService {
     npn: Arc<SharedNpnCache>,
+    prepared: PreparedFlowCache,
     max_in_flight: usize,
     jobs_succeeded: AtomicUsize,
     jobs_failed: AtomicUsize,
@@ -259,6 +332,7 @@ impl MappingService {
     pub fn new() -> Self {
         MappingService {
             npn: Arc::new(SharedNpnCache::new()),
+            prepared: PreparedFlowCache::new(PreparedFlowCache::DEFAULT_CAPACITY_BYTES),
             max_in_flight: 0,
             jobs_succeeded: AtomicUsize::new(0),
             jobs_failed: AtomicUsize::new(0),
@@ -273,6 +347,16 @@ impl MappingService {
         self
     }
 
+    /// Returns the same service with a warm-start cache of `bytes` capacity
+    /// (estimated artifact bytes; the default is
+    /// [`PreparedFlowCache::DEFAULT_CAPACITY_BYTES`]). `0` disables warm
+    /// starts entirely — every job prepares cold. Outputs are identical at
+    /// every capacity; only throughput changes.
+    pub fn with_prepared_capacity(mut self, bytes: usize) -> Self {
+        self.prepared = PreparedFlowCache::new(bytes);
+        self
+    }
+
     /// Cumulative service telemetry.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
@@ -281,6 +365,11 @@ impl MappingService {
             shared_npn_classes: self.npn.classes(),
             shared_npn_hits: self.npn.hits(),
             shared_npn_misses: self.npn.misses(),
+            prepared_entries: self.prepared.entries(),
+            prepared_bytes: self.prepared.bytes(),
+            prepared_hits: self.prepared.hits(),
+            prepared_misses: self.prepared.misses(),
+            prepared_evictions: self.prepared.evictions(),
         }
     }
 
@@ -390,33 +479,7 @@ impl MappingService {
         } = job;
         let budget = budget.unwrap_or_else(FlowBudget::unlimited);
         let outcome = contain(|| mch_logic::failpoint!("service::submit"))
-            .and_then(|()| match &kind {
-                JobKind::AsicMch(library) => try_asic_flow_mch_shared(
-                    &network,
-                    library,
-                    &config,
-                    &budget,
-                    Some(&self.npn),
-                )
-                .map(JobOutput::Asic),
-                JobKind::LutMch(lut) => try_lut_flow_mch_shared(
-                    &network,
-                    lut,
-                    &config,
-                    &budget,
-                    Some(&self.npn),
-                )
-                .map(JobOutput::Lut),
-                JobKind::LutFusedMch(lut, library) => try_lut_flow_mch_fused_shared(
-                    &network,
-                    lut,
-                    library,
-                    &config,
-                    &budget,
-                    Some(&self.npn),
-                )
-                .map(JobOutput::Lut),
-            })
+            .and_then(|()| self.run_flow(&name, &network, &kind, &config, &budget))
             .and_then(|out| {
                 contain(|| mch_logic::failpoint!("service::job_boundary")).map(|()| out)
             });
@@ -430,6 +493,63 @@ impl MappingService {
             name,
             outcome,
             seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Dispatches one flow (or a sweep of flows) over the service-owned
+    /// shared state. For a sweep the variants run serially on this job's
+    /// coordinator, in variant order — the warm-start cache turns the
+    /// variants after the first into re-solves of the prepared artifact; each
+    /// variant's outcome (including containment of its own panics) is
+    /// recorded in its own [`JobReport`].
+    fn run_flow(
+        &self,
+        name: &str,
+        network: &Network,
+        kind: &JobKind,
+        config: &MchConfig,
+        budget: &FlowBudget,
+    ) -> Result<JobOutput, FlowError> {
+        let shared = FlowShared {
+            npn: Some(&self.npn),
+            prepared: self.prepared.is_enabled().then_some(&self.prepared),
+        };
+        match kind {
+            JobKind::AsicMch(library) => {
+                try_asic_flow_mch_shared(network, library, config, budget, shared)
+                    .map(JobOutput::Asic)
+            }
+            JobKind::LutMch(lut) => {
+                try_lut_flow_mch_shared(network, lut, config, budget, shared).map(JobOutput::Lut)
+            }
+            JobKind::LutFusedMch(lut, library) => {
+                try_lut_flow_mch_fused_shared(network, lut, library, config, budget, shared)
+                    .map(JobOutput::Lut)
+            }
+            JobKind::Sweep(base, variants) => {
+                if matches!(**base, JobKind::Sweep(..)) {
+                    return Err(FlowError::InvalidJob {
+                        reason: "sweeps cannot nest".to_string(),
+                    });
+                }
+                if variants.is_empty() {
+                    return Err(FlowError::InvalidJob {
+                        reason: "sweep has no variant configs".to_string(),
+                    });
+                }
+                let mut reports = Vec::with_capacity(variants.len());
+                for (i, variant) in variants.iter().enumerate() {
+                    let variant_start = Instant::now();
+                    let variant_name = format!("{name}#{i}");
+                    let outcome = self.run_flow(&variant_name, network, base, variant, budget);
+                    reports.push(JobReport {
+                        name: variant_name,
+                        outcome,
+                        seconds: variant_start.elapsed().as_secs_f64(),
+                    });
+                }
+                Ok(JobOutput::Sweep(reports))
+            }
         }
     }
 }
@@ -487,6 +607,73 @@ mod tests {
         ]);
         assert!(reports[0].outcome.as_ref().expect("asic").as_asic().is_some());
         assert!(reports[1].outcome.as_ref().expect("lut").as_lut().is_some());
+    }
+
+    #[test]
+    fn sweep_variants_match_cold_solo_runs_and_warm_hit() {
+        let service = MappingService::new();
+        let variants = vec![
+            MchConfig::lut_area().with_threads(1),
+            MchConfig::lut_area().with_threads(1).with_area_rounds(4),
+            MchConfig::lut_area().with_threads(1).with_exact_area(true),
+        ];
+        let report = service.run(Job::sweep(
+            "sweep",
+            demo_adder_gt(),
+            JobKind::LutMch(LutLibrary::k6()),
+            variants.clone(),
+        ));
+        let out = report.outcome.expect("sweep job failed");
+        let reports = out.as_sweep().expect("sweep output");
+        assert_eq!(reports.len(), variants.len());
+        assert!(out.verified());
+        assert!(out.degradation().steps.is_empty());
+        let cold = MappingService::new().with_prepared_capacity(0);
+        for (i, (variant_report, cfg)) in reports.iter().zip(&variants).enumerate() {
+            assert_eq!(variant_report.name, format!("sweep#{i}"));
+            let warm = variant_report
+                .outcome
+                .as_ref()
+                .expect("variant failed")
+                .as_lut()
+                .expect("lut result")
+                .clone();
+            let solo = cold
+                .run(Job::lut("solo", demo_adder_gt(), LutLibrary::k6(), cfg.clone()))
+                .outcome
+                .expect("solo failed");
+            assert_eq!(warm.netlist, solo.as_lut().expect("lut result").netlist);
+        }
+        let stats = service.stats();
+        assert!(
+            stats.prepared_hits >= variants.len() - 1,
+            "later variants must warm-hit: {stats:?}"
+        );
+        assert_eq!(cold.stats().prepared_entries, 0);
+    }
+
+    #[test]
+    fn malformed_sweeps_fail_with_invalid_job() {
+        let service = MappingService::new();
+        let empty = service.run(Job::sweep(
+            "empty",
+            demo_adder_gt(),
+            JobKind::LutMch(LutLibrary::k6()),
+            Vec::new(),
+        ));
+        assert!(matches!(empty.outcome, Err(FlowError::InvalidJob { .. })));
+        let nested_kind = JobKind::Sweep(
+            Box::new(JobKind::LutMch(LutLibrary::k6())),
+            vec![MchConfig::lut_area()],
+        );
+        let nested = service.run(Job::sweep(
+            "nested",
+            demo_adder_gt(),
+            nested_kind,
+            vec![MchConfig::lut_area()],
+        ));
+        assert!(matches!(nested.outcome, Err(FlowError::InvalidJob { .. })));
+        assert_eq!(service.stats().jobs_failed, 2);
     }
 
     #[test]

@@ -223,6 +223,23 @@ impl NetworkCuts {
         self.wasted
     }
 
+    /// Approximate heap footprint of this cut set in bytes: the arena
+    /// (including each cut function's heap words), spans, per-node costs and
+    /// fanout estimates. Used by the warm-start cache's byte accounting — an
+    /// estimate for capacity decisions, not an allocator-exact count.
+    pub fn approx_bytes(&self) -> usize {
+        let cut_heap: usize = self
+            .arena
+            .iter()
+            .map(|c| c.function().words().len() * 8)
+            .sum();
+        self.arena.capacity() * std::mem::size_of::<Cut>()
+            + cut_heap
+            + self.spans.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.node_costs.capacity() * std::mem::size_of::<CutCosts>()
+            + self.fanout_est.capacity() * std::mem::size_of::<f32>()
+    }
+
     /// Rebuilds the arena densely in node-index order, reclaiming every slot
     /// abandoned by [`commit_extension`](NetworkCuts::commit_extension) and
     /// resetting [`wasted_slots`](NetworkCuts::wasted_slots) to zero.

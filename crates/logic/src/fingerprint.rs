@@ -1,0 +1,242 @@
+//! Deterministic structural fingerprints.
+//!
+//! The warm-start layer of `mch_core` keys prepared flow artifacts by a
+//! 64-bit fingerprint of `(network, choice-relevant config)`. The
+//! requirements are modest but strict:
+//!
+//! * **deterministic across processes and platforms** — the fingerprint is a
+//!   pure fold over the written words, with no `std::hash` randomization and
+//!   no pointer-dependent state, so it can be stored, logged and compared
+//!   across runs;
+//! * **order-sensitive** — `write(a); write(b)` and `write(b); write(a)`
+//!   differ, because node order is semantically meaningful in an append-only
+//!   network;
+//! * **collision-tolerant consumers** — 64 bits cannot rule out collisions,
+//!   so every cache keyed by a fingerprint verifies full equality on hit
+//!   (a collision degrades to a miss, never to a wrong artifact).
+//!
+//! The mixer is the splitmix64 finalizer already used by [`crate::Prng`],
+//! applied per written word over a running state, with the write count folded
+//! into [`Fingerprinter::finish`] to separate prefixes from their
+//! extensions.
+
+use crate::{Network, Signal};
+
+/// The splitmix64 finalizer: a fixed 64-bit permutation with strong
+/// avalanche behaviour (identical to the [`crate::Prng`] seed expansion).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An order-sensitive 64-bit fingerprint fold (see the module docs).
+///
+/// Not a `std::hash::Hasher`: the std trait makes no cross-process stability
+/// promise, and this type exists precisely to make one.
+#[derive(Clone, Debug)]
+pub struct Fingerprinter {
+    state: u64,
+    count: u64,
+}
+
+impl Fingerprinter {
+    /// Creates a fresh fingerprinter (golden-ratio initial state).
+    pub fn new() -> Self {
+        Fingerprinter {
+            state: 0x9E37_79B9_7F4A_7C15,
+            count: 0,
+        }
+    }
+
+    /// Folds one word into the state.
+    #[inline]
+    pub fn write_u64(&mut self, value: u64) {
+        self.count = self.count.wrapping_add(1);
+        // Mix the value first so sparse inputs (small integers) diffuse, then
+        // chain through the running state; the add keeps the chain position
+        // significant even for repeated values.
+        self.state = mix(self.state.wrapping_add(mix(value.wrapping_add(self.count))));
+    }
+
+    /// Folds a byte string: its length, then its bytes in 8-byte words
+    /// (zero-padded tail), so `"ab" + "c"` and `"a" + "bc"` differ.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    /// Folds a UTF-8 string (see [`Fingerprinter::write_bytes`]).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The fingerprint of everything written so far.
+    ///
+    /// Folds the write count in, so a fingerprint is never a valid
+    /// continuation state of a shorter write sequence.
+    pub fn finish(&self) -> u64 {
+        mix(self.state ^ self.count)
+    }
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Fingerprinter::new()
+    }
+}
+
+impl Network {
+    /// A deterministic structural fingerprint of this network: name, kind,
+    /// input count, every node's `(kind, fanin literals)` in id order, and
+    /// the output literals.
+    ///
+    /// Two networks compare [`PartialEq`]-equal exactly when they were built
+    /// as the same node-for-node structure, and the fingerprint folds the
+    /// same fields, so equal networks always fingerprint equal — including
+    /// permuted-but-identical constructions, which strashing normalises to
+    /// the same node vector before this function ever sees them. The
+    /// converse holds only statistically (64 bits); cache consumers verify
+    /// equality on fingerprint hits.
+    ///
+    /// The name is included deliberately: emitted netlists embed it, so two
+    /// same-structure different-name networks must not share cached flow
+    /// artifacts. Derived per-node attributes (levels, fanout counts) are
+    /// not folded — they are functions of the hashed structure.
+    pub fn structural_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        fp.write_str(self.name());
+        fp.write_u64(self.kind() as u64);
+        fp.write_u64(self.input_count() as u64);
+        fp.write_u64(self.len() as u64);
+        for id in self.node_ids() {
+            let node = self.node(id);
+            fp.write_u64(node.kind() as u64);
+            for f in node.fanins() {
+                fp.write_u64(f.literal() as u64);
+            }
+        }
+        fp.write_u64(self.outputs().len() as u64);
+        for o in self.outputs() {
+            fp.write_u64(o.literal() as u64);
+        }
+        fp.finish()
+    }
+}
+
+/// Convenience: fingerprints one signal literal (used by tests and the core
+/// cache key builder).
+pub fn fingerprint_signal(fp: &mut Fingerprinter, s: Signal) {
+    fp.write_u64(s.literal() as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkKind;
+
+    #[test]
+    fn word_order_and_prefixes_matter() {
+        let mut ab = Fingerprinter::new();
+        ab.write_u64(1);
+        ab.write_u64(2);
+        let mut ba = Fingerprinter::new();
+        ba.write_u64(2);
+        ba.write_u64(1);
+        assert_ne!(ab.finish(), ba.finish());
+
+        let mut a = Fingerprinter::new();
+        a.write_u64(1);
+        assert_ne!(a.finish(), ab.finish());
+        // A fold is deterministic: same writes, same fingerprint.
+        let mut ab2 = Fingerprinter::new();
+        ab2.write_u64(1);
+        ab2.write_u64(2);
+        assert_eq!(ab.finish(), ab2.finish());
+    }
+
+    #[test]
+    fn byte_strings_fold_with_their_boundaries() {
+        let mut split_one = Fingerprinter::new();
+        split_one.write_str("ab");
+        split_one.write_str("c");
+        let mut split_two = Fingerprinter::new();
+        split_two.write_str("a");
+        split_two.write_str("bc");
+        assert_ne!(split_one.finish(), split_two.finish());
+    }
+
+    fn and_tree() -> Network {
+        let mut n = Network::with_name(NetworkKind::Aig, "fp-test");
+        let a = n.add_input();
+        let b = n.add_input();
+        let c = n.add_input();
+        let ab = n.and2(a, b);
+        let abc = n.and2(ab, c);
+        n.add_output(abc);
+        n
+    }
+
+    #[test]
+    fn equal_networks_fingerprint_equal() {
+        assert_eq!(
+            and_tree().structural_fingerprint(),
+            and_tree().structural_fingerprint()
+        );
+    }
+
+    #[test]
+    fn permuted_but_identical_constructions_fingerprint_equal() {
+        // Strashing sorts commutative fanins, so and2(b, a) produces the
+        // same node vector as and2(a, b) — and therefore the same
+        // fingerprint.
+        let build = |swap: bool| {
+            let mut n = Network::with_name(NetworkKind::Aig, "fp-perm");
+            let a = n.add_input();
+            let b = n.add_input();
+            let g = if swap { n.and2(b, a) } else { n.and2(a, b) };
+            n.add_output(g);
+            n
+        };
+        assert_eq!(build(false), build(true));
+        assert_eq!(
+            build(false).structural_fingerprint(),
+            build(true).structural_fingerprint()
+        );
+    }
+
+    #[test]
+    fn structural_mutations_change_the_fingerprint() {
+        let base = and_tree().structural_fingerprint();
+
+        // Extra gate feeding a new output.
+        let mut extra = and_tree();
+        let x = extra.input(0);
+        let y = extra.input(2);
+        let g = extra.and2(x, y);
+        extra.add_output(g);
+        assert_ne!(base, extra.structural_fingerprint());
+
+        // Complemented output.
+        let mut flipped = and_tree();
+        let o = flipped.output(0);
+        flipped.replace_output(0, !o);
+        assert_ne!(base, flipped.structural_fingerprint());
+
+        // Different name, same structure.
+        let mut renamed = and_tree();
+        renamed.set_name("fp-test-2");
+        assert_ne!(base, renamed.structural_fingerprint());
+
+        // Different output selection.
+        let mut rewired = and_tree();
+        let first_input = rewired.input(0);
+        rewired.replace_output(0, first_input);
+        assert_ne!(base, rewired.structural_fingerprint());
+    }
+}

@@ -37,6 +37,7 @@
 pub mod failpoint;
 
 mod convert;
+mod fingerprint;
 mod gate;
 mod network;
 mod npn;
@@ -49,6 +50,7 @@ mod traversal;
 mod truth;
 
 pub use convert::{convert, convert_to_all};
+pub use fingerprint::{fingerprint_signal, Fingerprinter};
 pub use gate::{GateKind, NetworkKind, Node};
 pub use network::Network;
 pub use npn::{npn_apply_inverse, npn_canonical, npn_semi_canonical, NpnCanonical, NpnTransform};

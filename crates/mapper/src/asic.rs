@@ -165,6 +165,16 @@ impl MatchCandidate {
     pub(crate) fn cone(&self) -> (&[NodeId], &TruthTable) {
         (&self.leaves, &self.function)
     }
+
+    /// Approximate memory footprint in bytes (inline size plus owned heap).
+    /// Feeds [`crate::PreparedCover::approx_bytes`] for the warm-start
+    /// cache's byte accounting.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.leaves.capacity() * std::mem::size_of::<NodeId>()
+            + self.function.words().len() * 8
+            + self.pin_perm.capacity() * std::mem::size_of::<usize>()
+    }
 }
 
 /// Builds the direct-fanin cut of a gate: leaves are the sorted distinct

@@ -171,57 +171,43 @@ pub struct EngineParams {
     pub memoise: bool,
 }
 
-/// A covering problem prepared for (repeated) solving: the target's
-/// candidates, the fanout reference estimates and the candidate-leaf fanout
-/// relation, built once from a choice network.
+/// The parameter-independent skeleton of a covering problem: the target's
+/// enumerated candidates, the fanout reference estimates and the
+/// candidate-leaf fanout relation.
 ///
-/// Preparing is the expensive, parameter-independent part of covering
-/// (candidate enumeration dominates it); [`CoverProblem::solve`] runs the
-/// actual dynamic program and can be called any number of times with
-/// different [`EngineParams`] — different `area_rounds`, objectives or the
-/// exact-area pass — without re-enumerating candidates. The `mapping_rounds`
-/// bench times `solve` in isolation this way.
-pub struct CoverProblem<'a, T: CoverTarget> {
-    choice: &'a ChoiceNetwork,
-    target: &'a T,
+/// Building a skeleton is the expensive part of preparing a cover (candidate
+/// enumeration — Boolean matching for ASIC targets — dominates it), and the
+/// result depends only on the choice network and the target's cut set, never
+/// on [`EngineParams`]. A skeleton therefore outlives any single solve: the
+/// warm-start layer of `mch_core` caches one per `(choice network, cut set,
+/// library)` and hands each parameter variant its own clone via
+/// [`CoverProblem::with_skeleton`] — cloning is linear in the candidate
+/// bytes, orders of magnitude cheaper than re-enumerating them, and keeps
+/// per-problem mutations (candidate injection, bonuses) from ever touching
+/// the cached copy.
+#[derive(Clone, Debug)]
+pub struct CoverSkeleton<C> {
     original_gates: Vec<NodeId>,
-    candidates: Vec<Vec<T::Candidate>>,
+    candidates: Vec<Vec<C>>,
     refs: Vec<f64>,
     /// The candidate-leaf fanout relation: `users[l]` lists every original
     /// gate with `l` as a leaf of *some* candidate — the edges dirty bits
     /// propagate along (see `CandidateCache`).
     users: Vec<Vec<u32>>,
-    /// Sparse per-candidate selection bonus (see [`CoverProblem::set_bonus`]).
-    /// Empty (length 0) unless a bonus was ever set, so the unfused path pays
-    /// nothing.
-    bonus: Vec<Vec<f64>>,
 }
 
-/// Per-solve memoisation state of the area-recovery rounds.
-///
-/// A node is skipped in an area round when it is clean (no leaf of any of its
-/// candidates changed `(arrival, flow)` since the node was last evaluated)
-/// and its required time is bit-identical to the previous round's. When a
-/// node's `(best, arrival, flow)` does change, its users — via
-/// [`CoverProblem::users`] — are marked dirty; they always sit later in the
-/// same round's topological sweep.
-struct CandidateCache {
-    dirty: Vec<bool>,
-    prev_required: Vec<f64>,
-}
-
-impl<'a, T: CoverTarget> CoverProblem<'a, T> {
-    /// Builds the problem: enumerates every original gate's candidates,
+impl<C> CoverSkeleton<C> {
+    /// Builds the skeleton: enumerates every original gate's candidates,
     /// derives fanout reference estimates and the candidate-leaf fanout
-    /// relation.
-    pub fn new(choice: &'a ChoiceNetwork, target: &'a T) -> Self {
+    /// relation. Deterministic — a pure function of `(choice, target)`.
+    pub fn build<T: CoverTarget<Candidate = C>>(choice: &ChoiceNetwork, target: &T) -> Self {
         let net = choice.network();
         let original_gates: Vec<NodeId> = net
             .gate_ids()
             .filter(|id| choice.is_original(*id))
             .collect();
 
-        let mut candidates: Vec<Vec<T::Candidate>> =
+        let mut candidates: Vec<Vec<C>> =
             std::iter::repeat_with(Vec::new).take(net.len()).collect();
         for &id in &original_gates {
             candidates[id.index()] = target.candidates(net, id);
@@ -255,13 +241,101 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
             list.dedup();
         }
 
-        CoverProblem {
-            choice,
-            target,
+        CoverSkeleton {
             original_gates,
             candidates,
             refs,
             users,
+        }
+    }
+
+    /// Approximate heap footprint in bytes; `candidate_bytes` supplies the
+    /// per-candidate estimate (candidates are opaque here). Used by the
+    /// warm-start cache's byte accounting.
+    pub fn approx_bytes(&self, candidate_bytes: impl Fn(&C) -> usize) -> usize {
+        let cand_heap: usize = self
+            .candidates
+            .iter()
+            .flat_map(|list| list.iter().map(&candidate_bytes))
+            .sum();
+        self.original_gates.capacity() * std::mem::size_of::<NodeId>()
+            + self.candidates.capacity() * std::mem::size_of::<Vec<C>>()
+            + cand_heap
+            + self.refs.capacity() * 8
+            + self.users.capacity() * std::mem::size_of::<Vec<u32>>()
+            + self.users.iter().map(|u| u.capacity() * 4).sum::<usize>()
+    }
+}
+
+/// A covering problem prepared for (repeated) solving: a
+/// [`CoverSkeleton`] bound to its choice network and target, plus the
+/// per-problem selection bonuses.
+///
+/// Preparing is the expensive, parameter-independent part of covering
+/// (candidate enumeration dominates it); [`CoverProblem::solve`] runs the
+/// actual dynamic program and can be called any number of times with
+/// different [`EngineParams`] — different `area_rounds`, objectives or the
+/// exact-area pass — without re-enumerating candidates. The `mapping_rounds`
+/// bench times `solve` in isolation this way. Solving never mutates the
+/// problem: all per-solve state (arrivals, flows, selections, the
+/// memoisation cache) is allocated fresh inside each call, so repeated
+/// solves of one problem are independent and bit-reproducible — the fusion
+/// pipeline relies on this when it solves the same problem before and after
+/// injecting guide cones.
+pub struct CoverProblem<'a, T: CoverTarget> {
+    choice: &'a ChoiceNetwork,
+    target: &'a T,
+    skeleton: CoverSkeleton<T::Candidate>,
+    /// Sparse per-candidate selection bonus (see [`CoverProblem::set_bonus`]).
+    /// Empty (length 0) unless a bonus was ever set, so the unfused path pays
+    /// nothing.
+    bonus: Vec<Vec<f64>>,
+}
+
+/// Per-solve memoisation state of the area-recovery rounds.
+///
+/// A node is skipped in an area round when it is clean (no leaf of any of its
+/// candidates changed `(arrival, flow)` since the node was last evaluated)
+/// and its required time is bit-identical to the previous round's. When a
+/// node's `(best, arrival, flow)` does change, its users — via
+/// [`CoverProblem::users`] — are marked dirty; they always sit later in the
+/// same round's topological sweep.
+struct CandidateCache {
+    dirty: Vec<bool>,
+    prev_required: Vec<f64>,
+}
+
+impl<'a, T: CoverTarget> CoverProblem<'a, T> {
+    /// Builds the problem: enumerates every original gate's candidates,
+    /// derives fanout reference estimates and the candidate-leaf fanout
+    /// relation ([`CoverSkeleton::build`]).
+    pub fn new(choice: &'a ChoiceNetwork, target: &'a T) -> Self {
+        Self::with_skeleton(choice, target, CoverSkeleton::build(choice, target))
+    }
+
+    /// Builds the problem around a pre-built skeleton, skipping candidate
+    /// enumeration entirely — the warm-start path.
+    ///
+    /// `skeleton` must have been built by [`CoverSkeleton::build`] over the
+    /// same choice network and an identically-configured target (same cut
+    /// set, same library); the sizes are asserted, the contents are the
+    /// caller's contract. The skeleton is taken by value: callers reusing a
+    /// cached skeleton clone it, so later mutations of this problem
+    /// (injection, bonuses) never leak into the cache.
+    pub fn with_skeleton(
+        choice: &'a ChoiceNetwork,
+        target: &'a T,
+        skeleton: CoverSkeleton<T::Candidate>,
+    ) -> Self {
+        assert_eq!(
+            skeleton.candidates.len(),
+            choice.network().len(),
+            "skeleton was built over a differently-sized network"
+        );
+        CoverProblem {
+            choice,
+            target,
+            skeleton,
             bonus: Vec::new(),
         }
     }
@@ -269,19 +343,19 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
     /// The original (representative) gates of the problem, in topological
     /// order.
     pub fn original_gates(&self) -> &[NodeId] {
-        &self.original_gates
+        &self.skeleton.original_gates
     }
 
     /// The candidate list of `id` (empty for non-original nodes).
     pub fn candidates_of(&self, id: NodeId) -> &[T::Candidate] {
-        &self.candidates[id.index()]
+        &self.skeleton.candidates[id.index()]
     }
 
     /// The selected candidate of `id` under `sel`.
     ///
     /// Panics when `id` is not an original gate of the problem.
     pub fn selected<'s>(&'s self, sel: &CoverSelection, id: NodeId) -> &'s T::Candidate {
-        &self.candidates[id.index()][sel.best_index(id)]
+        &self.skeleton.candidates[id.index()][sel.best_index(id)]
     }
 
     /// Injects an extra candidate on `root` and returns its index in the
@@ -300,7 +374,7 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
     pub fn inject_candidate(&mut self, root: NodeId, cand: T::Candidate) -> usize {
         let idx = root.index();
         assert!(
-            !self.candidates[idx].is_empty(),
+            !self.skeleton.candidates[idx].is_empty(),
             "injection root {root} is not an original gate of the problem"
         );
         for &l in self.target.leaves(&cand) {
@@ -308,17 +382,17 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
                 l.index() < idx,
                 "injected leaf {l} does not precede root {root}"
             );
-            let list = &mut self.users[l.index()];
+            let list = &mut self.skeleton.users[l.index()];
             match list.binary_search(&(idx as u32)) {
                 Ok(_) => {}
                 Err(pos) => list.insert(pos, idx as u32),
             }
         }
-        self.candidates[idx].push(cand);
-        if !self.bonus.is_empty() && self.bonus[idx].len() < self.candidates[idx].len() {
-            self.bonus[idx].resize(self.candidates[idx].len(), 0.0);
+        self.skeleton.candidates[idx].push(cand);
+        if !self.bonus.is_empty() && self.bonus[idx].len() < self.skeleton.candidates[idx].len() {
+            self.bonus[idx].resize(self.skeleton.candidates[idx].len(), 0.0);
         }
-        self.candidates[idx].len() - 1
+        self.skeleton.candidates[idx].len() - 1
     }
 
     /// Grants candidate `cand_index` of `root` a selection bonus.
@@ -333,14 +407,14 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
     pub fn set_bonus(&mut self, root: NodeId, cand_index: usize, bonus: f64) {
         let idx = root.index();
         assert!(
-            cand_index < self.candidates[idx].len(),
+            cand_index < self.skeleton.candidates[idx].len(),
             "bonus for nonexistent candidate {cand_index} of {root}"
         );
         if self.bonus.is_empty() {
-            self.bonus = vec![Vec::new(); self.candidates.len()];
+            self.bonus = vec![Vec::new(); self.skeleton.candidates.len()];
         }
-        if self.bonus[idx].len() < self.candidates[idx].len() {
-            self.bonus[idx].resize(self.candidates[idx].len(), 0.0);
+        if self.bonus[idx].len() < self.skeleton.candidates[idx].len() {
+            self.bonus[idx].resize(self.skeleton.candidates[idx].len(), 0.0);
         }
         self.bonus[idx][cand_index] = bonus;
     }
@@ -379,9 +453,9 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
     pub fn solve_selection(&self, params: &EngineParams) -> CoverSelection {
         let net = self.choice.network();
         let target = self.target;
-        let original_gates = &self.original_gates;
-        let candidates = &self.candidates;
-        let refs = &self.refs;
+        let original_gates = &self.skeleton.original_gates;
+        let candidates = &self.skeleton.candidates;
+        let refs = &self.skeleton.refs;
 
         let area_flow = |cand: &T::Candidate, flow: &[f64]| -> f64 {
             let mut acc = target.area(cand);
@@ -504,7 +578,7 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
                         // Dirty every node that reads this one through a
                         // candidate leaf; all of them sit later in this
                         // round's topological sweep.
-                        for &u in &self.users[idx] {
+                        for &u in &self.skeleton.users[idx] {
                             cache.dirty[u as usize] = true;
                         }
                     }
@@ -549,8 +623,8 @@ impl<'a, T: CoverTarget> CoverProblem<'a, T> {
     /// target netlist.
     pub fn emit(&self, sel: &CoverSelection) -> T::Netlist {
         let cover = Cover {
-            original_gates: &self.original_gates,
-            candidates: &self.candidates,
+            original_gates: &self.skeleton.original_gates,
+            candidates: &self.skeleton.candidates,
             best: &sel.best,
             needed: &sel.needed,
         };
@@ -929,5 +1003,114 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Repeated solves of one problem must be independent: every per-solve
+    /// structure (arrivals, flows, selections, the `CandidateCache`) is
+    /// allocated fresh inside `solve_selection`, so a second solve — with the
+    /// same or different parameters, in any order — is bit-identical to a
+    /// first solve on a fresh problem. The warm-start sweep path leans on
+    /// this directly (one prepared problem, many parameter variants), as does
+    /// fusion (two solves of the guided problem).
+    #[test]
+    fn repeated_solves_of_one_problem_are_bit_identical() {
+        let mut net = Network::with_name(NetworkKind::Aig, "resolve-idem");
+        let a = net.add_inputs(3);
+        let b = net.add_inputs(3);
+        let mut carry = net.constant(false);
+        for i in 0..3 {
+            let (s, c) = net.full_adder(a[i], b[i], carry);
+            net.add_output(s);
+            carry = c;
+        }
+        net.add_output(carry);
+        let choice = build_mch(&net, &MchParams::area_oriented());
+        let lut = LutLibrary::k4();
+        let mut cuts = prepare_cuts(&choice, 4, 8, CutCost::Hybrid, &CutCostModel::unit(), 1);
+        cuts.compact();
+        let target = LutTarget::new(&lut, &cuts);
+
+        let variants: Vec<EngineParams> = [
+            (MappingObjective::Delay, 1, false),
+            (MappingObjective::Balanced, 3, false),
+            (MappingObjective::Area, 3, true),
+            (MappingObjective::Area, 8, false),
+        ]
+        .into_iter()
+        .map(|(objective, area_rounds, exact_area)| EngineParams {
+            objective,
+            area_rounds,
+            exact_area,
+            memoise: true,
+        })
+        .collect();
+
+        // Reference: one fresh problem per (variant, repetition).
+        let reference: Vec<_> = variants
+            .iter()
+            .map(|p| CoverProblem::new(&choice, &target).solve(p))
+            .collect();
+
+        // One shared problem, solved under every variant, forwards then
+        // backwards, twice — 4× per variant, interleaved with the others.
+        let shared = CoverProblem::new(&choice, &target);
+        for _ in 0..2 {
+            for (p, expect) in variants.iter().zip(&reference) {
+                assert_eq!(&shared.solve(p), expect, "forward re-solve diverged");
+            }
+            for (p, expect) in variants.iter().zip(&reference).rev() {
+                assert_eq!(&shared.solve(p), expect, "backward re-solve diverged");
+            }
+        }
+
+        // The split form (`solve_selection` + `emit`) is just as repeatable,
+        // including emitting one selection twice.
+        let sel = shared.solve_selection(&variants[0]);
+        assert_eq!(shared.emit(&sel), reference[0]);
+        assert_eq!(shared.emit(&sel), reference[0]);
+    }
+
+    /// A cached skeleton handed out by value must be byte-transparent: a
+    /// problem built via `with_skeleton` on a clone solves identically to one
+    /// built from scratch, and mutating one clone (injection, bonuses) never
+    /// contaminates a sibling built from the same skeleton.
+    #[test]
+    fn skeleton_clones_are_byte_transparent_and_isolated() {
+        let mut net = Network::with_name(NetworkKind::Aig, "skeleton-share");
+        let a = net.add_inputs(4);
+        let b = net.add_inputs(4);
+        let mut carry = net.constant(false);
+        for i in 0..4 {
+            let (s, c) = net.full_adder(a[i], b[i], carry);
+            net.add_output(s);
+            carry = c;
+        }
+        net.add_output(carry);
+        let choice = build_mch(&net, &MchParams::area_oriented());
+        let lut = LutLibrary::k6();
+        let mut cuts = prepare_cuts(&choice, 6, 8, CutCost::Hybrid, &CutCostModel::unit(), 1);
+        cuts.compact();
+        let target = LutTarget::new(&lut, &cuts);
+        let params = EngineParams {
+            objective: MappingObjective::Balanced,
+            area_rounds: 3,
+            exact_area: false,
+            memoise: true,
+        };
+
+        let fresh = CoverProblem::new(&choice, &target).solve(&params);
+        let skeleton = CoverSkeleton::build(&choice, &target);
+
+        // Clone 1 is mutated: inject a self-made cone candidate with a bonus.
+        let mut poked = CoverProblem::with_skeleton(&choice, &target, skeleton.clone());
+        let root = *poked.original_gates().last().unwrap();
+        let cand = poked.candidates_of(root)[0].clone();
+        let i = poked.inject_candidate(root, cand);
+        poked.set_bonus(root, i, 1.0);
+        let _ = poked.solve(&params);
+
+        // Clone 2, taken afterwards, still matches the from-scratch build.
+        let pristine = CoverProblem::with_skeleton(&choice, &target, skeleton.clone());
+        assert_eq!(pristine.solve(&params), fresh);
     }
 }

@@ -32,11 +32,12 @@
 //! selection, so fused output is byte-identical at every thread count — the
 //! same invariant every other phase holds (`tests/choice_determinism.rs`).
 
-use crate::asic::{library_cost_model, AsicMapParams, AsicTarget};
-use crate::engine::CoverProblem;
+use crate::asic::{library_cost_model, AsicMapParams, AsicTarget, MatchCandidate};
+use crate::engine::{CoverProblem, CoverSkeleton};
 use crate::lut::{map_lut, LutCandidate, LutMapParams, LutTarget};
 use crate::mapping::{prepare_cuts, MappingObjective};
 use crate::netlist::LutNetlist;
+use crate::prepared::{map_lut_prepared, PreparedCover};
 use mch_choice::ChoiceNetwork;
 use mch_cut::CutCostModel;
 use mch_logic::{NodeId, TruthTable};
@@ -120,18 +121,27 @@ pub fn map_lut_fused(
     );
     cuts.compact();
     let target = LutTarget::new(lut, &cuts);
-    let mut problem = CoverProblem::new(choice, &target);
-    let engine = params.engine_params();
+    let problem = CoverProblem::new(choice, &target);
+    solve_guarded(problem, lut, &cones, params)
+}
 
-    // Guarded fusion: solve the unguided cover first (identical to
-    // [`map_lut`] — same cuts, same engine parameters), then the guided one,
-    // and emit whichever maps better under the objective. Area flow is a
-    // heuristic: an ASIC cone that looks locally cheap can globally reduce
-    // sharing, so the guide's cover is accepted only when it wins — the
-    // guide can help, never hurt. Ties keep the unguided cover, so a guide
-    // pass that changes nothing still returns the plain mapper's bytes.
+/// The guarded double solve shared by the one-shot and warm-start pipelines:
+/// solve the unguided cover first (identical to [`map_lut`] — same cuts, same
+/// engine parameters), then the guided one, and emit whichever maps better
+/// under the objective. Area flow is a heuristic: an ASIC cone that looks
+/// locally cheap can globally reduce sharing, so the guide's cover is
+/// accepted only when it wins — the guide can help, never hurt. Ties keep the
+/// unguided cover, so a guide pass that changes nothing still returns the
+/// plain mapper's bytes.
+fn solve_guarded(
+    mut problem: CoverProblem<'_, LutTarget<'_>>,
+    lut: &LutLibrary,
+    cones: &[AsicCone],
+    params: &LutMapParams,
+) -> LutNetlist {
+    let engine = params.engine_params();
     let plain = problem.emit(&problem.solve_selection(&engine));
-    apply_cones(&mut problem, lut, &cones, params.fusion);
+    apply_cones(&mut problem, lut, cones, params.fusion);
     let guided = problem.emit(&problem.solve_selection(&engine));
     let key = |n: &LutNetlist| match params.objective {
         MappingObjective::Area => (n.lut_count(), n.level_count()),
@@ -142,6 +152,75 @@ pub fn map_lut_fused(
     } else {
         plain
     }
+}
+
+/// The ASIC parameters of the guide pass, derived from the LUT parameters:
+/// objective, threads and memoisation carry over, everything else takes the
+/// ASIC defaults. The guide's cut ranking — which shapes its cut set, and
+/// hence the prepared guide artifact — is the objective's natural ASIC
+/// ranking.
+fn guide_asic_params(params: &LutMapParams) -> AsicMapParams {
+    AsicMapParams::new(params.objective)
+        .with_threads(params.threads)
+        .with_memoise(params.memoise)
+}
+
+/// Runs the preparation phase of the fusion guide pass: ASIC cut enumeration
+/// and Boolean matching under the guide's derived ASIC parameters
+/// (objective-derived ranking, the LUT `cut_limit`).
+///
+/// Of `params`, only `objective`, `cut_limit` and `threads` reach this phase,
+/// and `threads` never changes the result — a cache key needs `objective`,
+/// `cut_limit` and the cell library.
+pub fn prepare_fusion_guide(
+    choice: &ChoiceNetwork,
+    library: &Library,
+    params: &LutMapParams,
+) -> PreparedCover<MatchCandidate> {
+    let asic_params = guide_asic_params(params);
+    let cut_size = library.max_inputs().clamp(3, 6);
+    let mut cuts = prepare_cuts(
+        choice,
+        cut_size,
+        params.cut_limit,
+        asic_params.cut_ranking,
+        &library_cost_model(library),
+        params.threads,
+    );
+    cuts.compact();
+    let skeleton = {
+        let target = AsicTarget::new(library, &cuts);
+        CoverSkeleton::build(choice, &target)
+    };
+    PreparedCover { cuts, skeleton }
+}
+
+/// [`map_lut_fused`] over prepared covers — the warm-start path.
+///
+/// `lut_prep` must come from [`crate::prepare_lut_cover`] and `guide_prep`
+/// from [`prepare_fusion_guide`], both over the same choice network and
+/// parameters (`cut_limit`, `cut_ranking`, `objective`). Byte-identical to
+/// the one-shot [`map_lut_fused`]; with [`FusionMode::Off`] the guide
+/// artifact is ignored entirely and this is [`map_lut_prepared`].
+pub fn map_lut_fused_prepared(
+    choice: &ChoiceNetwork,
+    lut: &LutLibrary,
+    library: &Library,
+    params: &LutMapParams,
+    lut_prep: &PreparedCover<LutCandidate>,
+    guide_prep: &PreparedCover<MatchCandidate>,
+) -> LutNetlist {
+    if !params.fusion.is_enabled() {
+        return map_lut_prepared(choice, lut, lut_prep, params);
+    }
+    let cones = {
+        let target = AsicTarget::new(library, &guide_prep.cuts);
+        let problem = CoverProblem::with_skeleton(choice, &target, guide_prep.skeleton.clone());
+        harvest_from_selection(choice, &problem, params, lut.k())
+    };
+    let target = LutTarget::new(lut, &lut_prep.cuts);
+    let problem = CoverProblem::with_skeleton(choice, &target, lut_prep.skeleton.clone());
+    solve_guarded(problem, lut, &cones, params)
 }
 
 /// Runs the ASIC guide cover and returns the harvested cones in id order.
@@ -163,9 +242,7 @@ fn harvest_asic_cones(
     params: &LutMapParams,
     k: usize,
 ) -> Vec<AsicCone> {
-    let asic_params = AsicMapParams::new(params.objective)
-        .with_threads(params.threads)
-        .with_memoise(params.memoise);
+    let asic_params = guide_asic_params(params);
     let cut_size = library.max_inputs().clamp(3, 6);
     let mut cuts = prepare_cuts(
         choice,
@@ -178,7 +255,20 @@ fn harvest_asic_cones(
     cuts.compact();
     let target = AsicTarget::new(library, &cuts);
     let problem = CoverProblem::new(choice, &target);
-    let selection = problem.solve_selection(&asic_params.engine_params());
+    harvest_from_selection(choice, &problem, params, k)
+}
+
+/// Solves the guide problem's selection and clusters its winning cover into
+/// LUT-sized cones (see [`harvest_asic_cones`] for the clustering rules).
+/// Shared by the one-shot path (which builds the guide problem from scratch)
+/// and the warm-start path (which rebuilds it from a [`PreparedCover`]).
+fn harvest_from_selection(
+    choice: &ChoiceNetwork,
+    problem: &CoverProblem<'_, AsicTarget<'_>>,
+    params: &LutMapParams,
+    k: usize,
+) -> Vec<AsicCone> {
+    let selection = problem.solve_selection(&guide_asic_params(params).engine_params());
 
     // The winning cover: the selected cell cone of every needed gate.
     let mut selected: Vec<Option<(Vec<NodeId>, TruthTable)>> =
@@ -382,6 +472,31 @@ mod tests {
                 assert!(
                     cec(&net, &fused.to_network()).holds(),
                     "{mode:?}/{objective:?} broke equivalence"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_fused_solves_match_one_shot_mapping_bytes() {
+        let net = adder4();
+        let choice = build_mch(&net, &MchParams::area_oriented());
+        let lut = LutLibrary::k6();
+        let lib = asap7_lite();
+        for mode in [
+            FusionMode::Off,
+            FusionMode::Bias,
+            FusionMode::Inject,
+            FusionMode::Full,
+        ] {
+            let base = LutMapParams::new(MappingObjective::Area).with_fusion(mode);
+            let lut_prep = crate::prepared::prepare_lut_cover(&choice, &lut, &base);
+            let guide_prep = prepare_fusion_guide(&choice, &lib, &base);
+            for params in [base, base.with_area_rounds(1), base.with_exact_area(true)] {
+                assert_eq!(
+                    map_lut_fused_prepared(&choice, &lut, &lib, &params, &lut_prep, &guide_prep),
+                    map_lut_fused(&choice, &lut, &lib, &params),
+                    "{mode:?}/{params:?} diverged from the one-shot fused mapper"
                 );
             }
         }

@@ -141,6 +141,15 @@ impl LutCandidate {
     pub(crate) fn matches_cone(&self, leaves: &[NodeId], function: &TruthTable) -> bool {
         self.leaves == leaves && self.function == *function
     }
+
+    /// Approximate memory footprint in bytes (inline size plus owned heap).
+    /// Feeds [`crate::PreparedCover::approx_bytes`] for the warm-start
+    /// cache's byte accounting.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.leaves.capacity() * std::mem::size_of::<NodeId>()
+            + self.function.words().len() * 8
+    }
 }
 
 /// The K-LUT instantiation of the covering engine's [`CoverTarget`].

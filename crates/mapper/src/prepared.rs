@@ -1,0 +1,245 @@
+//! Prepared cover state: the params-independent half of a mapping run, built
+//! once and re-solved under many parameter variants (the warm-start path).
+//!
+//! Both mappers split into two phases with very different reuse profiles:
+//!
+//! 1. **Preparation** — cut enumeration + choice transfer + candidate
+//!    enumeration (Boolean matching for ASIC targets). Expensive, and a pure
+//!    function of `(choice network, cut configuration, library)` — no
+//!    [`EngineParams`](crate::engine::EngineParams) knob reaches it.
+//! 2. **Solving** — the covering dynamic program. Cheap by comparison, and
+//!    the only phase that sees `area_rounds`, `exact_area`, objectives or
+//!    memoisation.
+//!
+//! A [`PreparedCover`] captures phase 1 — the compacted cut set plus the
+//! [`CoverSkeleton`] built over it — so a parameter sweep pays it once and
+//! runs phase 2 per variant via [`map_lut_prepared`] / [`map_asic_prepared`]
+//! (and [`crate::fusion::map_lut_fused_prepared`] for the fused pipeline).
+//! Every prepared solve is **byte-identical** to the corresponding one-shot
+//! mapper call: preparation is deterministic and thread-invariant, so the
+//! cached artifacts equal freshly built ones, and
+//! [`CoverProblem::with_skeleton`] clones the skeleton per solve so no
+//! per-problem mutation ever reaches the shared copy.
+//! `tests/service_warm_start.rs` in `mch_core` pins this end to end.
+
+use crate::asic::{library_cost_model, AsicMapParams, AsicTarget, MatchCandidate};
+use crate::engine::{CoverProblem, CoverSkeleton};
+use crate::lut::{LutCandidate, LutMapParams, LutTarget};
+use crate::mapping::prepare_cuts;
+use crate::netlist::{CellNetlist, LutNetlist};
+use mch_choice::ChoiceNetwork;
+use mch_cut::{CutCostModel, NetworkCuts};
+use mch_techlib::{Library, LutLibrary};
+
+/// The params-independent artifact of one mapper over one choice network:
+/// the compacted cut set and the candidate skeleton enumerated from it.
+///
+/// Build via [`prepare_lut_cover`] / [`prepare_asic_cover`] /
+/// [`crate::fusion::prepare_fusion_guide`]; solve any number of times via the
+/// matching `map_*_prepared` entry point. The skeleton depends on the cut
+/// set, the library and nothing else, so one `PreparedCover` serves every
+/// combination of objective, `area_rounds`, `exact_area` and `memoise`.
+pub struct PreparedCover<C> {
+    pub(crate) cuts: NetworkCuts,
+    pub(crate) skeleton: CoverSkeleton<C>,
+}
+
+impl<C> PreparedCover<C> {
+    /// The compacted cut set the skeleton was enumerated from.
+    pub fn cuts(&self) -> &NetworkCuts {
+        &self.cuts
+    }
+
+    /// The candidate skeleton (see [`CoverSkeleton`]).
+    pub fn skeleton(&self) -> &CoverSkeleton<C> {
+        &self.skeleton
+    }
+
+    /// Approximate heap footprint in bytes; `candidate_bytes` supplies the
+    /// per-candidate estimate (see [`LutCandidate::approx_bytes`] /
+    /// [`MatchCandidate::approx_bytes`]). Used by the warm-start cache's
+    /// byte accounting in `mch_core`.
+    pub fn approx_bytes(&self, candidate_bytes: impl Fn(&C) -> usize) -> usize {
+        self.cuts.approx_bytes() + self.skeleton.approx_bytes(candidate_bytes)
+    }
+}
+
+/// Runs the preparation phase of [`map_lut`](crate::map_lut): cut enumeration
+/// with the unit cost model, compaction, and K-LUT candidate enumeration.
+///
+/// Of `params`, only `cut_limit`, `cut_ranking` and `threads` reach this
+/// phase — and `threads` never changes the result (enumeration is
+/// thread-invariant), so a cache key over the artifact needs only the first
+/// two plus the LUT library.
+pub fn prepare_lut_cover(
+    choice: &ChoiceNetwork,
+    lut: &LutLibrary,
+    params: &LutMapParams,
+) -> PreparedCover<LutCandidate> {
+    let mut cuts = prepare_cuts(
+        choice,
+        lut.k(),
+        params.cut_limit,
+        params.cut_ranking,
+        &CutCostModel::unit(),
+        params.threads,
+    );
+    cuts.compact();
+    let skeleton = {
+        let target = LutTarget::new(lut, &cuts);
+        CoverSkeleton::build(choice, &target)
+    };
+    PreparedCover { cuts, skeleton }
+}
+
+/// The solving phase of [`map_lut`](crate::map_lut) over a prepared cover.
+///
+/// Byte-identical to `map_lut(choice, lut, params)` whenever `prep` came from
+/// [`prepare_lut_cover`] over the same choice network, LUT library and
+/// cut configuration (`cut_limit`, `cut_ranking`).
+pub fn map_lut_prepared(
+    choice: &ChoiceNetwork,
+    lut: &LutLibrary,
+    prep: &PreparedCover<LutCandidate>,
+    params: &LutMapParams,
+) -> LutNetlist {
+    let target = LutTarget::new(lut, &prep.cuts);
+    let problem = CoverProblem::with_skeleton(choice, &target, prep.skeleton.clone());
+    problem.solve(&params.engine_params())
+}
+
+/// Runs the preparation phase of [`map_asic`](crate::map_asic): cut
+/// enumeration with the [`library_cost_model`] ranking, compaction, and
+/// Boolean matching of every cut against the library.
+///
+/// Of `params`, only `cut_limit`, `cut_ranking` and `threads` reach this
+/// phase; `threads` never changes the result, so a cache key needs only the
+/// first two plus the cell library.
+pub fn prepare_asic_cover(
+    choice: &ChoiceNetwork,
+    library: &Library,
+    params: &AsicMapParams,
+) -> PreparedCover<MatchCandidate> {
+    let cut_size = library.max_inputs().clamp(3, 6);
+    let mut cuts = prepare_cuts(
+        choice,
+        cut_size,
+        params.cut_limit,
+        params.cut_ranking,
+        &library_cost_model(library),
+        params.threads,
+    );
+    cuts.compact();
+    let skeleton = {
+        let target = AsicTarget::new(library, &cuts);
+        CoverSkeleton::build(choice, &target)
+    };
+    PreparedCover { cuts, skeleton }
+}
+
+/// The solving phase of [`map_asic`](crate::map_asic) over a prepared cover.
+///
+/// Byte-identical to `map_asic(choice, library, params)` whenever `prep` came
+/// from [`prepare_asic_cover`] over the same choice network, library and cut
+/// configuration.
+pub fn map_asic_prepared(
+    choice: &ChoiceNetwork,
+    library: &Library,
+    prep: &PreparedCover<MatchCandidate>,
+    params: &AsicMapParams,
+) -> CellNetlist {
+    let target = AsicTarget::new(library, &prep.cuts);
+    let problem = CoverProblem::with_skeleton(choice, &target, prep.skeleton.clone());
+    problem.solve(&params.engine_params())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asic::map_asic;
+    use crate::lut::map_lut;
+    use crate::mapping::MappingObjective;
+    use mch_choice::{build_mch, MchParams};
+    use mch_logic::{Network, NetworkKind};
+    use mch_techlib::asap7_lite;
+
+    fn adder6() -> Network {
+        let mut n = Network::with_name(NetworkKind::Aig, "adder6");
+        let a = n.add_inputs(6);
+        let b = n.add_inputs(6);
+        let mut carry = n.constant(false);
+        for i in 0..6 {
+            let (s, c) = n.full_adder(a[i], b[i], carry);
+            n.add_output(s);
+            carry = c;
+        }
+        n.add_output(carry);
+        n
+    }
+
+    #[test]
+    fn prepared_lut_solves_match_one_shot_mapping_bytes() {
+        let net = adder6();
+        let choice = build_mch(&net, &MchParams::area_oriented());
+        let lut = LutLibrary::k6();
+        let base = LutMapParams::new(MappingObjective::Area);
+        let prep = prepare_lut_cover(&choice, &lut, &base);
+        // Every variant shares the preparation (same cut_limit/ranking);
+        // solves over the shared artifact must equal one-shot runs.
+        for params in [
+            base,
+            base.with_area_rounds(1),
+            base.with_area_rounds(8),
+            base.with_exact_area(true),
+            base.with_memoise(false),
+            LutMapParams {
+                objective: MappingObjective::Delay,
+                ..base
+            },
+        ] {
+            assert_eq!(
+                map_lut_prepared(&choice, &lut, &prep, &params),
+                map_lut(&choice, &lut, &params),
+                "{params:?} diverged from the one-shot mapper"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_asic_solves_match_one_shot_mapping_bytes() {
+        let net = adder6();
+        let choice = build_mch(&net, &MchParams::area_oriented());
+        let lib = asap7_lite();
+        let base = AsicMapParams::new(MappingObjective::Balanced);
+        let prep = prepare_asic_cover(&choice, &lib, &base);
+        for params in [
+            base,
+            base.with_area_rounds(0),
+            base.with_area_rounds(5),
+            base.with_exact_area(true),
+            base.with_memoise(false),
+            AsicMapParams {
+                objective: MappingObjective::Area,
+                ..base
+            },
+        ] {
+            assert_eq!(
+                map_asic_prepared(&choice, &lib, &prep, &params),
+                map_asic(&choice, &lib, &params),
+                "{params:?} diverged from the one-shot mapper"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_cover_reports_a_plausible_footprint() {
+        let net = adder6();
+        let choice = build_mch(&net, &MchParams::area_oriented());
+        let prep = prepare_lut_cover(&choice, &LutLibrary::k6(), &LutMapParams::default());
+        let bytes = prep.approx_bytes(LutCandidate::approx_bytes);
+        // The cut arena alone is thousands of bytes for this network; the
+        // estimate must dominate it and stay finite-ish.
+        assert!(bytes > prep.cuts().approx_bytes());
+        assert!(bytes < 64 << 20, "absurd footprint estimate: {bytes}");
+    }
+}

@@ -60,6 +60,15 @@ pub struct Library {
     max_inputs: usize,
 }
 
+/// Two libraries are equal when their name and cell lists agree; the
+/// matching index, designated inverter and input bound are pure functions of
+/// the cells, so comparing them again would be redundant work.
+impl PartialEq for Library {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.cells == other.cells
+    }
+}
+
 impl Library {
     /// Creates an empty library.
     pub fn new(name: impl Into<String>) -> Self {

@@ -69,6 +69,14 @@ fn bytes_of(out: &JobOutput) -> String {
     match out {
         JobOutput::Asic(r) => write_verilog(&r.netlist, &asap7_lite()),
         JobOutput::Lut(r) => write_lut_blif(&r.netlist),
+        JobOutput::Sweep(reports) => reports
+            .iter()
+            .map(|r| match &r.outcome {
+                Ok(out) => format!("{}:\n{}", r.name, bytes_of(out)),
+                Err(e) => format!("{}: error {e}", r.name),
+            })
+            .collect::<Vec<_>>()
+            .join("\n"),
     }
 }
 

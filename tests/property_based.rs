@@ -212,3 +212,100 @@ fn inline_enumeration_matches_legacy_semantics() {
         }
     }
 }
+
+#[test]
+fn structural_fingerprints_match_reconstructions_and_separate_mutants() {
+    // The warm-start cache indexes prepared flows by
+    // `Network::structural_fingerprint`. Two properties carry it: equal
+    // networks (rebuilds, clones) hash equal, and any structural mutation —
+    // output polarity, output rewiring, an extra gate — changes the hash.
+    for_each_case(|i, net| {
+        let mut rng = Prng::seed_from_u64(0xF19E_4100 + i as u64);
+        let base = net.structural_fingerprint();
+
+        // Same seeded construction and a clone: equal networks, equal hash.
+        assert_eq!(
+            arbitrary_network(i).structural_fingerprint(),
+            base,
+            "case {i}: rebuilding the same network changed the fingerprint"
+        );
+        assert_eq!(net.clone().structural_fingerprint(), base, "case {i}: clone");
+
+        // Output polarity flip.
+        let oi = rng.gen_range(0..net.output_count());
+        let mut flipped = net.clone();
+        let o = flipped.output(oi);
+        flipped.replace_output(oi, !o);
+        assert_ne!(
+            flipped.structural_fingerprint(),
+            base,
+            "case {i}: complementing output {oi} left the fingerprint unchanged"
+        );
+
+        // Output rewired to a (guaranteed different) signal.
+        let mut rewired = net.clone();
+        let replacement = rewired.input(rng.gen_range(0..rewired.input_count()));
+        let target = if rewired.output(oi) == replacement {
+            !replacement
+        } else {
+            replacement
+        };
+        rewired.replace_output(oi, target);
+        assert_ne!(
+            rewired.structural_fingerprint(),
+            base,
+            "case {i}: rewiring output {oi} left the fingerprint unchanged"
+        );
+
+        // An extra gate feeding an extra output.
+        let mut grown = net.clone();
+        let a = grown.input(rng.gen_range(0..grown.input_count()));
+        let b = grown.input(rng.gen_range(0..grown.input_count()));
+        let g = grown.and2(a, !b);
+        grown.add_output(g);
+        assert_ne!(
+            grown.structural_fingerprint(),
+            base,
+            "case {i}: growing the network left the fingerprint unchanged"
+        );
+    });
+}
+
+#[test]
+fn permuted_but_identical_constructions_fingerprint_equal() {
+    // Strashing canonicalises commutative fanins, so building the same
+    // random AND chain with every gate's operands swapped yields the same
+    // node vector — and must yield the same fingerprint (this is what lets
+    // the warm-start cache hit across independently constructed circuits).
+    for i in 0..CASES {
+        let mut rng = Prng::seed_from_u64(0x9E23_7700 + i as u64);
+        let n_inputs = rng.gen_range(3..8);
+        let n_gates = rng.gen_range(5..40);
+        // Pre-draw the construction plan so both builds share it.
+        let mut plan: Vec<(usize, usize, bool)> = Vec::with_capacity(n_gates);
+        for g in 0..n_gates {
+            let pool = n_inputs + g;
+            plan.push((rng.gen_range(0..pool), rng.gen_range(0..pool), rng.next_u64() & 1 == 1));
+        }
+        let build = |swap: bool| {
+            let mut n = Network::with_name(NetworkKind::Aig, "fp-perm");
+            let mut signals: Vec<_> = (0..n_inputs).map(|_| n.add_input()).collect();
+            for &(ai, bi, neg) in &plan {
+                let (a, b) = (signals[ai], if neg { !signals[bi] } else { signals[bi] });
+                let g = if swap { n.and2(b, a) } else { n.and2(a, b) };
+                signals.push(g);
+            }
+            let last = *signals.last().expect("at least one signal");
+            n.add_output(last);
+            n
+        };
+        let forward = build(false);
+        let swapped = build(true);
+        assert_eq!(forward, swapped, "case {i}: swapped construction diverged");
+        assert_eq!(
+            forward.structural_fingerprint(),
+            swapped.structural_fingerprint(),
+            "case {i}: equal networks fingerprinted differently"
+        );
+    }
+}

@@ -45,7 +45,7 @@ fn unwrap_lut(report: &JobReport) -> &mch::core::LutFlowResult {
         .unwrap_or_else(|e| panic!("job {} failed: {e}", report.name));
     let r = match out {
         JobOutput::Lut(r) => r,
-        JobOutput::Asic(_) => panic!("expected a LUT job"),
+        _ => panic!("expected a LUT job"),
     };
     assert!(r.verified, "job {} must stay equivalent", report.name);
     r

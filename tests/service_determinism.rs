@@ -66,6 +66,7 @@ fn fingerprint(report: &JobReport) -> String {
     let bytes = match out {
         mch::core::JobOutput::Asic(r) => write_verilog(&r.netlist, &lib),
         mch::core::JobOutput::Lut(r) => write_lut_blif(&r.netlist),
+        mch::core::JobOutput::Sweep(_) => panic!("this suite has no sweep jobs"),
     };
     format!("{bytes}\n{:?}", out.degradation())
 }

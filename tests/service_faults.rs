@@ -247,3 +247,82 @@ fn worker_deaths_are_invisible_to_batched_results() {
         }
     });
 }
+
+/// The warm-start cache failpoints (`cache::prepared_hit`,
+/// `cache::prepared_insert`): a fault at either site is contained *inside*
+/// the cache wrappers — the job does not fail, it silently falls back to a
+/// cold, byte-identical run, and the cache stays coherent for later jobs on
+/// the same service.
+#[test]
+fn cache_failpoint_faults_degrade_to_cold_byte_identical_runs() {
+    with_chaos(|| {
+        for threads in thread_counts() {
+            let lut = LutLibrary::k6();
+            let variants: Vec<MchConfig> = vec![
+                MchConfig::lut_area().with_threads(threads),
+                MchConfig::lut_area().with_threads(threads).with_area_rounds(4),
+                MchConfig::lut_area().with_threads(threads).with_exact_area(true),
+            ];
+            // Cold per-variant references from a warm-start-disabled service.
+            let reference: Vec<String> = variants
+                .iter()
+                .map(|cfg| {
+                    let service = MappingService::new().with_prepared_capacity(0);
+                    bytes_of(&service.run(Job::lut("cold", demo_adder_gt(), lut, cfg.clone())))
+                })
+                .collect();
+            for site in ["cache::prepared_hit", "cache::prepared_insert"] {
+                for hit in [0u64, 1] {
+                    let service = MappingService::new();
+                    failpoint::arm_exact(site, &[hit]);
+                    let report = service.run(Job::sweep(
+                        "sweep",
+                        demo_adder_gt(),
+                        mch::core::JobKind::LutMch(lut),
+                        variants.clone(),
+                    ));
+                    failpoint::disarm();
+                    let out = report
+                        .outcome
+                        .as_ref()
+                        .unwrap_or_else(|e| panic!("{site}[{hit}]: sweep must not fail: {e}"));
+                    let sweep = out.as_sweep().expect("sweep output");
+                    assert_eq!(sweep.len(), variants.len());
+                    for (variant_report, want) in sweep.iter().zip(&reference) {
+                        assert_eq!(
+                            &bytes_of(variant_report),
+                            want,
+                            "{site}[{hit}] at {threads} threads: variant {} diverged",
+                            variant_report.name
+                        );
+                    }
+                    // The cache stays coherent: an unfaulted follow-up sweep
+                    // on the same service matches byte for byte and the
+                    // service counters show no failed jobs.
+                    let followup = service.run(Job::sweep(
+                        "followup",
+                        demo_adder_gt(),
+                        mch::core::JobKind::LutMch(lut),
+                        variants.clone(),
+                    ));
+                    let followup_out = followup.outcome.expect("follow-up sweep failed");
+                    for (variant_report, want) in followup_out
+                        .as_sweep()
+                        .expect("sweep output")
+                        .iter()
+                        .zip(&reference)
+                    {
+                        assert_eq!(
+                            &bytes_of(variant_report),
+                            want,
+                            "{site}[{hit}] at {threads} threads: follow-up variant diverged"
+                        );
+                    }
+                    let stats = service.stats();
+                    assert_eq!(stats.jobs_failed, 0, "{site}[{hit}]: no job may fail");
+                    assert_eq!(stats.jobs_succeeded, 2);
+                }
+            }
+        }
+    });
+}
